@@ -1,0 +1,120 @@
+// Command htiersim runs a single tiering simulation — one workload, one
+// policy, one fast:slow ratio — and prints its metrics. It is the
+// counterpart of the artifact's run_{workload}.sh scripts.
+//
+// Usage:
+//
+//	htiersim [-workload cdn] [-policy HybridTier] [-ratio 8] [-ops 1000000]
+//	         [-huge] [-cache] [-scale quick|full] [-seed 1] [-series]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func main() {
+	workload := flag.String("workload", "cdn", "workload name (see -list)")
+	policy := flag.String("policy", "HybridTier", "tiering policy")
+	ratio := flag.Int("ratio", 8, "fast:slow ratio 1:N")
+	ops := flag.Int64("ops", 1_000_000, "operations to simulate")
+	huge := flag.Bool("huge", false, "2MB huge-page granularity")
+	cache := flag.Bool("cache", false, "enable the full CPU-cache model")
+	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	series := flag.Bool("series", false, "print the latency time series")
+	list := flag.Bool("list", false, "list workloads and policies")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range experiments.WorkloadNames() {
+			fmt.Printf("  %s\n", w)
+		}
+		fmt.Println("policies:")
+		for _, p := range append(experiments.PolicyNames(),
+			"HybridTier-CBF", "HybridTier-onlyFreq", "LRU", "FirstTouch", "AllFast") {
+			fmt.Printf("  %s\n", p)
+		}
+		return
+	}
+
+	scale := experiments.Quick
+	if *scaleFlag == "full" {
+		scale = experiments.Full
+	}
+	w, err := scale.Workload(*workload, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htiersim:", err)
+		os.Exit(2)
+	}
+	numPages := w.NumPages()
+	fast := numPages / (*ratio + 1)
+	if fast < 16 {
+		fast = 16
+	}
+	polPages, polFast := numPages, fast
+	if *huge {
+		polPages = (numPages + 511) / 512
+		polFast = fast / 512
+		if polFast < 4 {
+			polFast = 4
+		}
+	}
+	p, alloc, err := experiments.Policy(*policy, polPages, polFast, *huge)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htiersim:", err)
+		os.Exit(2)
+	}
+	cfg := sim.DefaultConfig(w, p, polFast)
+	cfg.Ops = *ops
+	cfg.Alloc = alloc
+	cfg.Seed = *seed
+	cfg.AppCacheModel = *cache
+	if *huge {
+		cfg.PageBytes = mem.HugePageBytes
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htiersim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload      %s (%d pages, %.0f MB)\n", res.Workload, numPages,
+		float64(numPages)*float64(mem.RegularPageBytes)/(1<<20))
+	fmt.Printf("policy        %s\n", res.Policy)
+	fmt.Printf("fast tier     %d pages (1:%d)\n", polFast, *ratio)
+	fmt.Printf("ops           %d in %.1f virtual ms\n", res.Ops, float64(res.ElapsedNs)/1e6)
+	fmt.Printf("latency       p50 %d ns   mean %.0f ns   p99 %d ns\n",
+		res.MedianLatNs, res.MeanLatNs, res.P99LatNs)
+	fmt.Printf("throughput    %.2f Mop/s\n", res.ThroughputMops)
+	fmt.Printf("migrations    %d promoted, %d demoted (%d failed promos)\n",
+		res.Mem.Promotions, res.Mem.Demotions, res.Mem.FailedPromos)
+	fmt.Printf("sampling      %d samples of %d accesses (%d dropped)\n",
+		res.Pebs.Sampled, res.Pebs.Accesses, res.Pebs.Dropped)
+	fmt.Printf("faults        %d hint faults\n", res.Faults)
+	fmt.Printf("metadata      %.1f KB (%.4f%% of footprint)\n",
+		float64(res.MetadataBytes)/1024,
+		100*float64(res.MetadataBytes)/(float64(numPages)*float64(mem.RegularPageBytes)))
+	fmt.Printf("tiering busy  %.2f virtual ms\n", res.TieringBusyNs/1e6)
+	if *cache {
+		fmt.Printf("cache         tiering share of misses: L1 %.1f%%  LLC %.1f%%\n",
+			100*res.L1.MissFraction(1), 100*res.LLC.MissFraction(1))
+	}
+	if *series {
+		fmt.Println("\ntime(ms)  p50(ns)  mean(ns)  slow-share")
+		for i, pt := range res.Series {
+			slow := ""
+			if i < len(res.SlowSeries) {
+				slow = fmt.Sprintf("%.1f%%", res.SlowSeries[i].Mean/10)
+			}
+			fmt.Printf("%8.0f  %7d  %8.0f  %s\n",
+				float64(pt.Time)/1e6, pt.Median, pt.Mean, slow)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command hybridbench regenerates the paper's evaluation tables and
+// figures. It is the repository's analogue of the artifact's repro.sh.
+//
+// Usage:
+//
+//	hybridbench [-scale quick|full] [-run fig9,tab3,...] [-list]
+//
+// Output is printed as aligned text tables, one per experiment, with notes
+// recording the paper's expected shape next to the measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	runFlag := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	listFlag := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "hybridbench: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var todo []experiments.Experiment
+	if *runFlag == "" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hybridbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	fmt.Printf("HybridTier reproduction — scale %s, %d experiment(s)\n\n", scale.Name, len(todo))
+	start := time.Now()
+	for _, e := range todo {
+		t0 := time.Now()
+		tbl, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybridbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,56 @@
+// Command tracegen dumps a workload's page-access stream as CSV
+// (op,page,write), for inspecting generator behaviour or feeding external
+// tools. Traces can be large; pipe to a file or use -ops to bound them.
+//
+// Usage:
+//
+//	tracegen -workload pr-kron -ops 10000 [-scale quick|full] [-seed 1]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "cdn", "workload name")
+	ops := flag.Int64("ops", 10_000, "operations to emit")
+	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *scaleFlag == "full" {
+		scale = experiments.Full
+	}
+	w, err := scale.Workload(*workload, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(2)
+	}
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer out.Flush()
+	fmt.Fprintf(out, "# workload=%s pages=%d seed=%d\n", w.Name(), w.NumPages(), *seed)
+	fmt.Fprintln(out, "op,page,write")
+	var buf []trace.Access
+	for op := int64(0); op < *ops; op++ {
+		buf = w.NextOp(buf[:0])
+		for _, a := range buf {
+			out.WriteString(strconv.FormatInt(op, 10))
+			out.WriteByte(',')
+			out.WriteString(strconv.FormatUint(uint64(a.Page), 10))
+			out.WriteByte(',')
+			if a.Write {
+				out.WriteString("1\n")
+			} else {
+				out.WriteString("0\n")
+			}
+		}
+	}
+}

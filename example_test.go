@@ -1,0 +1,26 @@
+package hybridtier_test
+
+import (
+	"fmt"
+	"log"
+
+	hybridtier "repro"
+)
+
+// ExampleSimulate runs HybridTier over a skewed workload at a 1:8
+// fast:slow capacity split and checks that the hot set was promoted into
+// the fast tier.
+func ExampleSimulate() {
+	w := hybridtier.Zipf("example", 1<<14, 1.0, 7)
+	res, err := hybridtier.Simulate(hybridtier.SimOptions{
+		Workload:  w,
+		Policy:    hybridtier.PolicyHybridTier,
+		FastRatio: 8,
+		Ops:       100_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Policy, res.Mem.Promotions > 0)
+	// Output: HybridTier true
+}

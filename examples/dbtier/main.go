@@ -1,0 +1,85 @@
+// Database demo: a YCSB-C key-value workload over the Silo-style B+tree
+// engine, plus the live Runtime — the policy running as a real background
+// goroutine fed by sampled accesses, the deployment shape of the paper's
+// userspace runtime thread (§4.1).
+//
+//	go run ./examples/dbtier
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/tier"
+	"repro/internal/trace"
+	"repro/internal/workloads/silo"
+)
+
+func main() {
+	cfg := silo.Default(11)
+	cfg.Records = 1 << 17 // 128 Ki records for a quick demo
+	db, err := silo.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Silo B+tree: %d records, height %d, %d index pages, %d total pages\n",
+		cfg.Records, db.Height(), db.IndexPages(), db.NumPages())
+
+	// Tiered memory: fast tier holds 1/9 of the footprint; everything is
+	// initially slow (cold start).
+	fast := db.NumPages() / 9
+	memory := mem.MustNew(mem.Config{
+		NumPages:  db.NumPages(),
+		FastPages: fast,
+		PageBytes: mem.RegularPageBytes,
+		Alloc:     mem.AllocSlow,
+	})
+	env := core.NewLiveEnv(memory)
+
+	// HybridTier as a live background runtime.
+	policy := core.MustNew(core.DefaultConfig(fast))
+	rt := core.NewRuntime(policy, env, core.RuntimeConfig{
+		BatchSamples: 256,
+		TickEvery:    2 * time.Millisecond,
+	})
+	rt.Start()
+	defer rt.Stop()
+
+	// Drive YCSB-C operations, feeding every 13th access to the runtime
+	// (PEBS-style sampling).
+	const ops = 300_000
+	var buf []trace.Access
+	sampleCount := 0
+	fastHits, total := 0, 0
+	for i := 0; i < ops; i++ {
+		buf = db.NextOp(buf[:0])
+		for _, a := range buf {
+			t, err := env.RecordAccess(a.Page)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total++
+			if t == mem.Fast {
+				fastHits++
+			}
+			sampleCount++
+			if sampleCount%13 == 0 {
+				rt.Feed(tier.Sample{Page: a.Page, Tier: t, Write: a.Write})
+			}
+		}
+		if i == ops/10 || i == ops-1 {
+			fmt.Printf("after %6d ops: fast-tier hit rate %.1f%%, fast used %d/%d pages\n",
+				i+1, 100*float64(fastHits)/float64(total), env.FastUsed(), fast)
+		}
+	}
+	// Give the runtime a moment to drain, then report.
+	time.Sleep(20 * time.Millisecond)
+	fed, dropped := rt.Stats()
+	fmt.Printf("runtime: %d samples accepted, %d dropped, %.1f ms tiering work\n",
+		fed, dropped, env.BusyNs()/1e6)
+	reads, updates := db.Counts()
+	fmt.Printf("db: %d reads, %d updates\n", reads, updates)
+}

@@ -1,0 +1,181 @@
+// Package hybridtier is the public facade of this repository's Go
+// reproduction of "HybridTier: an Adaptive and Lightweight CXL-Memory
+// Tiering System" (ASPLOS 2025). It re-exports the pieces a downstream user
+// composes:
+//
+//   - a tiering policy (HybridTier itself, or one of the paper's baselines),
+//   - a tiered-memory model with CXL-calibrated latencies,
+//   - workload generators for the paper's twelve evaluation workloads, and
+//   - the discrete-event simulator that connects them.
+//
+// Quick start:
+//
+//	w := hybridtier.Zipf("demo", 1<<16, 1.0, 42)
+//	res, err := hybridtier.Simulate(hybridtier.SimOptions{
+//	    Workload:  w,
+//	    Policy:    hybridtier.PolicyHybridTier,
+//	    FastRatio: 8, // fast:slow = 1:8
+//	})
+//
+// For full control construct core.Config / sim.Config directly; the types
+// returned here are the same ones the internal packages define.
+package hybridtier
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/tier"
+	"repro/internal/trace"
+)
+
+// PolicyName selects a tiering system.
+type PolicyName string
+
+// The systems evaluated in the paper (§5.2) plus the bounds.
+const (
+	PolicyHybridTier         PolicyName = "HybridTier"
+	PolicyHybridTierCBF      PolicyName = "HybridTier-CBF"      // unblocked-CBF variant
+	PolicyHybridTierOnlyFreq PolicyName = "HybridTier-onlyFreq" // momentum disabled
+	PolicyMemtis             PolicyName = "Memtis"
+	PolicyAutoNUMA           PolicyName = "AutoNUMA"
+	PolicyTPP                PolicyName = "TPP"
+	PolicyARC                PolicyName = "ARC"
+	PolicyTwoQ               PolicyName = "TwoQ"
+	PolicyLRU                PolicyName = "LRU"
+	PolicyFirstTouch         PolicyName = "FirstTouch"
+	PolicyAllFast            PolicyName = "AllFast"
+)
+
+// Policies lists every selectable policy name.
+func Policies() []PolicyName {
+	return []PolicyName{
+		PolicyHybridTier, PolicyHybridTierCBF, PolicyHybridTierOnlyFreq,
+		PolicyMemtis, PolicyAutoNUMA, PolicyTPP, PolicyARC, PolicyTwoQ,
+		PolicyLRU, PolicyFirstTouch, PolicyAllFast,
+	}
+}
+
+// Workload is the access-stream interface workloads implement
+// (trace.Source re-exported).
+type Workload = trace.Source
+
+// Result is a simulation outcome (sim.Result re-exported).
+type Result = sim.Result
+
+// SimOptions configures a Simulate call.
+type SimOptions struct {
+	// Workload produces the access stream (required).
+	Workload Workload
+	// Policy selects the tiering system (default PolicyHybridTier).
+	Policy PolicyName
+	// FastRatio is N in a 1:N fast:slow capacity split (default 8).
+	FastRatio int
+	// Ops is the number of operations to simulate (default 1,000,000).
+	Ops int64
+	// HugePages switches to 2 MB tracking/migration granularity (§4.4).
+	HugePages bool
+	// CacheModel enables the full application+tiering CPU-cache model
+	// used by the cache-overhead experiments (slower).
+	CacheModel bool
+	// Seed makes the run deterministic (default 1).
+	Seed uint64
+}
+
+// NewPolicy constructs the named policy for a page space of numPages with a
+// fast tier of fastPages, returning the policy and the first-touch
+// allocation mode the paper's methodology prescribes for it.
+func NewPolicy(name PolicyName, numPages, fastPages int, huge bool) (tier.Policy, mem.AllocMode, error) {
+	switch name {
+	case PolicyHybridTier, PolicyHybridTierCBF, PolicyHybridTierOnlyFreq:
+		cfg := core.DefaultConfig(fastPages)
+		if huge {
+			cfg.CounterBits = 16
+		}
+		cfg.Blocked = name != PolicyHybridTierCBF
+		cfg.DisableMomentum = name == PolicyHybridTierOnlyFreq
+		p, err := core.New(cfg)
+		return p, mem.AllocFastFirst, err
+	case PolicyMemtis:
+		return baselines.NewMemtis(baselines.DefaultMemtisConfig(numPages, fastPages)),
+			mem.AllocFastFirst, nil
+	case PolicyAutoNUMA:
+		return baselines.NewAutoNUMA(baselines.DefaultAutoNUMAConfig(numPages)),
+			mem.AllocFastFirst, nil
+	case PolicyTPP:
+		return baselines.NewTPP(baselines.DefaultTPPConfig(numPages)),
+			mem.AllocFastFirst, nil
+	case PolicyARC:
+		return baselines.NewARC(numPages, fastPages), mem.AllocSlow, nil
+	case PolicyTwoQ:
+		return baselines.NewTwoQ(numPages, fastPages), mem.AllocSlow, nil
+	case PolicyLRU:
+		return baselines.NewLRU(numPages, fastPages), mem.AllocSlow, nil
+	case PolicyFirstTouch:
+		return baselines.NewStatic("FirstTouch"), mem.AllocFastFirst, nil
+	case PolicyAllFast:
+		return baselines.NewStatic("AllFast"), mem.AllocFast, nil
+	default:
+		return nil, 0, fmt.Errorf("hybridtier: unknown policy %q", name)
+	}
+}
+
+// Simulate runs one tiering simulation and returns its metrics.
+func Simulate(opts SimOptions) (*Result, error) {
+	if opts.Workload == nil {
+		return nil, fmt.Errorf("hybridtier: Workload is required")
+	}
+	if opts.Policy == "" {
+		opts.Policy = PolicyHybridTier
+	}
+	if opts.FastRatio <= 0 {
+		opts.FastRatio = 8
+	}
+	if opts.Ops <= 0 {
+		opts.Ops = 1_000_000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	numPages := opts.Workload.NumPages()
+	fastPages := numPages / (opts.FastRatio + 1)
+	if fastPages < 16 {
+		fastPages = 16
+	}
+	polPages, polFast := numPages, fastPages
+	if opts.HugePages {
+		polPages = (numPages + 511) / 512
+		polFast = fastPages / 512
+		if polFast < 4 {
+			polFast = 4
+		}
+	}
+	p, alloc, err := NewPolicy(opts.Policy, polPages, polFast, opts.HugePages)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig(opts.Workload, p, polFast)
+	cfg.Ops = opts.Ops
+	cfg.Alloc = alloc
+	cfg.Seed = opts.Seed
+	cfg.AppCacheModel = opts.CacheModel
+	if opts.HugePages {
+		cfg.PageBytes = mem.HugePageBytes
+	}
+	return sim.Run(cfg)
+}
+
+// Zipf returns a single-page-per-op workload with Zipf(s) popularity over n
+// pages — the simplest way to drive the simulator.
+func Zipf(name string, n int, s float64, seed uint64) Workload {
+	return trace.NewZipfSource(name, n, s, 0, seed)
+}
+
+// ShiftingZipf is Zipf with a one-time rotation of frac of the hot set
+// after shiftAfterOps operations (the §2.3.2 adaptation scenario).
+func ShiftingZipf(name string, n int, s float64, seed uint64, shiftAfterOps int64, frac float64) Workload {
+	return trace.NewShiftingZipfSource(name, n, s, 0, seed, shiftAfterOps, frac)
+}

@@ -1,0 +1,91 @@
+package hybridtier
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestSimulateDefaults(t *testing.T) {
+	w := Zipf("t", 4096, 1.0, 1)
+	res, err := Simulate(SimOptions{Workload: w, Ops: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "HybridTier" {
+		t.Errorf("default policy = %q", res.Policy)
+	}
+	if res.Ops != 50_000 || res.MedianLatNs <= 0 {
+		t.Errorf("bad result: %+v", res)
+	}
+}
+
+func TestSimulateRequiresWorkload(t *testing.T) {
+	if _, err := Simulate(SimOptions{}); err == nil {
+		t.Error("missing workload must fail")
+	}
+}
+
+func TestSimulateUnknownPolicy(t *testing.T) {
+	w := Zipf("t", 1024, 1.0, 1)
+	if _, err := Simulate(SimOptions{Workload: w, Policy: "nope", Ops: 100}); err == nil {
+		t.Error("unknown policy must fail")
+	}
+}
+
+func TestEveryPolicySimulates(t *testing.T) {
+	for _, name := range Policies() {
+		w := Zipf("t", 4096, 1.0, 1)
+		res, err := Simulate(SimOptions{Workload: w, Policy: name, Ops: 30_000})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.ElapsedNs <= 0 {
+			t.Errorf("%s: zero elapsed time", name)
+		}
+	}
+}
+
+func TestSimulateHugePages(t *testing.T) {
+	w := Zipf("t", 1<<15, 1.0, 1)
+	res, err := Simulate(SimOptions{Workload: w, HugePages: true, Ops: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 2 MB granularity the page space shrinks 512×, so the fast tier is
+	// tiny but the run must still work and migrate.
+	if res.FastFinal > 1<<15/512+16 {
+		t.Errorf("huge-page fast tier too large: %d", res.FastFinal)
+	}
+}
+
+func TestShiftingZipfFacade(t *testing.T) {
+	w := ShiftingZipf("t", 4096, 1.0, 1, 20_000, 0.5)
+	res, err := Simulate(SimOptions{Workload: w, Ops: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShiftNs < 0 {
+		t.Error("shift should have fired and been recorded")
+	}
+}
+
+func TestNewPolicyAllocModes(t *testing.T) {
+	// §5.2: ARC and TwoQ start with everything in the slow tier.
+	for _, name := range []PolicyName{PolicyARC, PolicyTwoQ, PolicyLRU} {
+		_, alloc, err := NewPolicy(name, 1024, 128, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc != mem.AllocSlow {
+			t.Errorf("%s: alloc = %v, want AllocSlow", name, alloc)
+		}
+	}
+	_, alloc, err := NewPolicy(PolicyAllFast, 1024, 128, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc != mem.AllocFast {
+		t.Error("AllFast must use AllocFast")
+	}
+}

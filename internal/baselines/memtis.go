@@ -1,0 +1,233 @@
+package baselines
+
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+	"repro/internal/tier"
+)
+
+// MemtisConfig parameterizes the Memtis baseline (Lee et al., SOSP'23),
+// the state-of-the-art frequency-based system the paper compares against in
+// depth (§6.3).
+type MemtisConfig struct {
+	// NumPages is the total page space; Memtis keeps 16 B of metadata for
+	// every page in the system (§2.3.3), so its overhead scales with total
+	// memory rather than fast-tier size.
+	NumPages int
+	// FastPages is the fast-tier capacity, used for threshold tuning.
+	FastPages int
+	// CoolSamples is the EMA cooling period in samples (§2.3.2; the paper
+	// studies 2M-25M real samples — scaled to simulator rates).
+	CoolSamples int
+	// PromoWatermark / DemoteWatermark mirror the kernel watermarks.
+	PromoWatermark  float64
+	DemoteWatermark float64
+}
+
+// DefaultMemtisConfig returns the baseline configuration for a memory
+// layout, with a cooling period matching its real 2M-sample default scaled
+// by the same factor as HybridTier's trackers.
+func DefaultMemtisConfig(numPages, fastPages int) MemtisConfig {
+	return MemtisConfig{
+		NumPages:        numPages,
+		FastPages:       fastPages,
+		CoolSamples:     60_000,
+		PromoWatermark:  0.02,
+		DemoteWatermark: 0.08,
+	}
+}
+
+// perPageMetaBytes is Memtis' per-page metadata footprint: 16 B attached to
+// each struct page (§2.3.3).
+const perPageMetaBytes = 16
+
+// Memtis tracks an exact access counter per page, builds a hotness
+// histogram over log2 count buckets, and promotes pages whose count exceeds
+// a threshold chosen so the hot set just fits the fast tier. Freshness
+// comes from halving every counter each cooling period — the lagging-EMA
+// behaviour §2.3.2 analyzes.
+type Memtis struct {
+	cfg        MemtisConfig
+	env        tier.Env
+	counts     []uint16
+	hist       [17]int64 // hist[b] = pages whose count has bit-length b
+	thresh     uint16
+	since      int
+	scanCursor mem.PageID
+	lastScanNs int64
+	stats      MemtisStats
+}
+
+// MemtisStats counts baseline activity.
+type MemtisStats struct {
+	Samples  uint64
+	Promoted uint64
+	Demoted  uint64
+	Coolings uint64
+}
+
+var _ tier.Policy = (*Memtis)(nil)
+
+// NewMemtis constructs the baseline.
+func NewMemtis(cfg MemtisConfig) *Memtis {
+	m := &Memtis{
+		cfg:    cfg,
+		counts: make([]uint16, cfg.NumPages),
+		thresh: 4,
+	}
+	m.hist[0] = int64(cfg.NumPages)
+	return m
+}
+
+// Name implements tier.Policy.
+func (m *Memtis) Name() string { return "Memtis" }
+
+// Attach implements tier.Policy.
+func (m *Memtis) Attach(env tier.Env) { m.env = env }
+
+// MetadataBytes implements tier.Policy: 16 B per page of total memory.
+func (m *Memtis) MetadataBytes() int64 {
+	return int64(m.cfg.NumPages) * perPageMetaBytes
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Memtis) Stats() MemtisStats { return m.stats }
+
+// Threshold returns the current hot threshold (test hook).
+func (m *Memtis) Threshold() uint16 { return m.thresh }
+
+// Count returns the exact counter for p (test hook and the Fig. 3b cooling
+// accuracy experiment, which inspects the histogram Memtis builds).
+func (m *Memtis) Count(p mem.PageID) uint16 { return m.counts[p] }
+
+// Hist returns a copy of the log2 hotness histogram.
+func (m *Memtis) Hist() [17]int64 { return m.hist }
+
+// OnSamples implements tier.Policy: Algorithm 1 with an exact table. Each
+// sample costs a page-table walk plus a 16 B metadata update — the poor
+// locality §3.3 identifies (4 entries per cache line vs the CBF's 32+
+// pages per line).
+func (m *Memtis) OnSamples(batch []tier.Sample) {
+	for _, s := range batch {
+		m.stats.Samples++
+		p := s.Page
+
+		// Per-sample metadata references, following htmm_core.c's update
+		// path: the PTE line reached by the page-table walk (upper levels
+		// are shared and cache-resident), the 16 B struct-page hotness
+		// metadata, the per-page LRU/generation bookkeeping, and the
+		// histogram bucket (small and shared, so effectively cached).
+		metaEnd := int64(m.cfg.NumPages) * perPageMetaBytes
+		m.env.TouchMeta(metaEnd + int64(p)*8)        // PTE entry
+		m.env.TouchMeta(int64(p) * perPageMetaBytes) // hotness metadata
+		m.env.TouchMeta(metaEnd*2 + int64(p)*16)     // LRU/gen bookkeeping
+		m.env.TouchMeta(metaEnd * 3)                 // histogram head
+
+		old := m.counts[p]
+		if old < 1<<15 {
+			m.counts[p] = old + 1
+			ob, nb := bits.Len16(old), bits.Len16(old+1)
+			if ob != nb {
+				m.hist[ob]--
+				m.hist[nb]++
+			}
+		}
+
+		if s.Tier == mem.Slow && m.counts[p] >= m.thresh {
+			if err := m.env.Promote(p); err != nil {
+				m.demoteToWatermark()
+				if m.env.Promote(p) == nil {
+					m.stats.Promoted++
+				}
+			} else {
+				m.stats.Promoted++
+			}
+		}
+
+		m.since++
+		if m.since >= m.cfg.CoolSamples {
+			m.cool()
+		}
+	}
+}
+
+// cool halves every page counter — a full sweep of the per-page metadata,
+// which is exactly the "additional background activity" overhead the paper
+// observes growing with memory size (§6.1).
+func (m *Memtis) cool() {
+	m.since = 0
+	m.stats.Coolings++
+	for i := range m.counts {
+		m.counts[i] >>= 1
+	}
+	var nh [17]int64
+	for b, n := range m.hist {
+		if b == 0 {
+			nh[0] += n
+		} else {
+			nh[b-1] += n // halving a count drops its bit length by one
+		}
+	}
+	m.hist = nh
+	m.retune()
+	// Sweep cost over the whole metadata region.
+	m.env.Charge(float64(m.cfg.NumPages) * perPageMetaBytes / 64)
+}
+
+// retune picks the smallest power-of-two threshold whose hot set fits the
+// fast tier, Memtis' histogram-driven threshold (§2.3.1).
+func (m *Memtis) retune() {
+	budget := int64(m.cfg.FastPages)
+	var cum int64
+	bucket := len(m.hist) - 1
+	for b := len(m.hist) - 1; b >= 1; b-- {
+		cum += m.hist[b]
+		if cum > budget {
+			break
+		}
+		bucket = b
+	}
+	t := uint16(1) << (bucket - 1)
+	if t < 2 {
+		t = 2
+	}
+	m.thresh = t
+}
+
+// Tick implements tier.Policy: watermark-driven demotion plus a periodic
+// threshold refresh from the live histogram.
+func (m *Memtis) Tick() {
+	m.retune()
+	mm := m.env.Mem()
+	if float64(mm.FastFree()) < m.cfg.PromoWatermark*float64(mm.FastCap()) {
+		m.demoteToWatermark()
+	}
+}
+
+func (m *Memtis) demoteToWatermark() {
+	now := m.env.Now()
+	if now-m.lastScanNs < scanMinIntervalNs {
+		return
+	}
+	m.lastScanNs = now
+	mm := m.env.Mem()
+	target := int(m.cfg.DemoteWatermark * float64(mm.FastCap()))
+	if target < 1 {
+		target = 1
+	}
+	visited := 0
+	last := m.scanCursor
+	mm.ScanFastFrom(m.scanCursor, func(p mem.PageID) bool {
+		visited++
+		last = p
+		if m.counts[p] < m.thresh {
+			if m.env.Demote(p) == nil {
+				m.stats.Demoted++
+			}
+		}
+		return mm.FastFree() < target
+	})
+	m.scanCursor = last + 1
+	m.env.Charge(float64(visited) * 25)
+}

@@ -1,0 +1,169 @@
+package baselines
+
+import (
+	"repro/internal/mem"
+	"repro/internal/tier"
+)
+
+// TPPConfig parameterizes the TPP baseline (Maruf et al., ASPLOS'23):
+// transparent page placement for CXL memory, which promotes CXL pages on
+// NUMA hint faults when the page is already on the kernel's active list
+// (i.e. faulted again within a short window) and demotes from the inactive
+// LRU under fast-tier pressure.
+type TPPConfig struct {
+	// NumPages is the page-space size.
+	NumPages int
+	// ActiveWindowNs: a second fault within this window marks the page
+	// active and triggers promotion.
+	ActiveWindowNs int64
+	// PromoWatermark / DemoteWatermark mirror TPP's decoupled allocation
+	// and demotion watermarks.
+	PromoWatermark  float64
+	DemoteWatermark float64
+}
+
+// DefaultTPPConfig returns scaled defaults.
+func DefaultTPPConfig(numPages int) TPPConfig {
+	return TPPConfig{
+		NumPages:        numPages,
+		ActiveWindowNs:  60_000_000,
+		PromoWatermark:  0.02,
+		DemoteWatermark: 0.10,
+	}
+}
+
+// rearmSlices is the number of ticks one full re-protection sweep takes.
+const rearmSlices = 8
+
+// TPP implements tier.FaultDriven. Slow-tier (CXL) pages are hint-fault
+// armed in rotating slices; a page promoting requires two faults within the
+// active window, TPP's active-list check. Demotion evicts the least-
+// recently-used fast pages.
+type TPP struct {
+	cfg         TPPConfig
+	env         tier.Env
+	armed       []uint64
+	lastFault   []int64
+	rearmCursor int
+	demoCursor  mem.PageID
+	lastScanNs  int64
+	stats       TPPStats
+}
+
+// TPPStats counts baseline activity.
+type TPPStats struct {
+	Faults   uint64
+	Promoted uint64
+	Demoted  uint64
+}
+
+var _ tier.FaultDriven = (*TPP)(nil)
+
+// NewTPP constructs the baseline with every page armed.
+func NewTPP(cfg TPPConfig) *TPP {
+	t := &TPP{
+		cfg:       cfg,
+		armed:     make([]uint64, (cfg.NumPages+63)/64),
+		lastFault: make([]int64, cfg.NumPages),
+	}
+	for i := range t.armed {
+		t.armed[i] = ^uint64(0)
+	}
+	return t
+}
+
+// Name implements tier.Policy.
+func (t *TPP) Name() string { return "TPP" }
+
+// Attach implements tier.Policy.
+func (t *TPP) Attach(env tier.Env) { t.env = env }
+
+// MetadataBytes implements tier.Policy: fault stamps + arm bitmap.
+func (t *TPP) MetadataBytes() int64 {
+	return int64(len(t.lastFault))*8 + int64(len(t.armed))*8
+}
+
+// Stats returns a copy of the activity counters.
+func (t *TPP) Stats() TPPStats { return t.stats }
+
+// OnSamples implements tier.Policy; TPP is fault-driven.
+func (t *TPP) OnSamples([]tier.Sample) {}
+
+// WantsFault implements tier.FaultDriven: armed pages fault; only slow-tier
+// faults matter but arming is per page, so check placement at fault time.
+func (t *TPP) WantsFault(p mem.PageID) bool {
+	return t.armed[p>>6]&(1<<(p&63)) != 0
+}
+
+// OnFault implements tier.FaultDriven.
+func (t *TPP) OnFault(p mem.PageID, tr mem.Tier) {
+	t.stats.Faults++
+	t.armed[p>>6] &^= 1 << (p & 63)
+	now := t.env.Now()
+	if tr == mem.Slow {
+		if prev := t.lastFault[p]; prev > 0 && now-prev < t.cfg.ActiveWindowNs {
+			// Second fault within the window: the page would be on the
+			// active list — promote.
+			if err := t.env.Promote(p); err != nil {
+				t.demoteToWatermark()
+				if t.env.Promote(p) == nil {
+					t.stats.Promoted++
+				}
+			} else {
+				t.stats.Promoted++
+			}
+		}
+	}
+	t.lastFault[p] = now
+}
+
+// Tick implements tier.Policy: re-arm the fault traps for the next slice
+// of the address space (the kernel scans and re-protects gradually, not all
+// at once) and check the demotion watermark.
+func (t *TPP) Tick() {
+	slice := (len(t.armed) + rearmSlices - 1) / rearmSlices
+	start := t.rearmCursor
+	for i := 0; i < slice; i++ {
+		t.armed[(start+i)%len(t.armed)] = ^uint64(0)
+	}
+	t.rearmCursor = (start + slice) % len(t.armed)
+	t.env.Charge(float64(t.cfg.NumPages) * 2 / rearmSlices)
+	m := t.env.Mem()
+	if float64(m.FastFree()) < t.cfg.PromoWatermark*float64(m.FastCap()) {
+		t.demoteToWatermark()
+	}
+}
+
+// demoteToWatermark demotes the least-recently-faulted/accessed fast pages.
+func (t *TPP) demoteToWatermark() {
+	now := t.env.Now()
+	if now-t.lastScanNs < scanMinIntervalNs {
+		return
+	}
+	t.lastScanNs = now
+	m := t.env.Mem()
+	target := int(t.cfg.DemoteWatermark * float64(m.FastCap()))
+	if target < 1 {
+		target = 1
+	}
+	// LRU approximation: demote pages idle for over half the active
+	// window; tighten on a second pass if needed.
+	cutoff := now - t.cfg.ActiveWindowNs/2
+	for pass := 0; pass < 2 && m.FastFree() < target; pass++ {
+		visited := 0
+		last := t.demoCursor
+		m.ScanFastFrom(t.demoCursor, func(p mem.PageID) bool {
+			visited++
+			last = p
+			if t.env.LastAccess(p) < cutoff {
+				if t.env.Demote(p) == nil {
+					t.stats.Demoted++
+				}
+			}
+			return m.FastFree() < target
+		})
+		t.demoCursor = last + 1
+		t.env.Charge(float64(visited) * 20)
+		cutoff = now - t.cfg.ActiveWindowNs/8
+	}
+}

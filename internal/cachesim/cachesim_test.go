@@ -1,0 +1,206 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func tiny() *Hierarchy {
+	// L1: 4 sets × 2 ways × 64B = 512B. LLC: 16 sets × 4 ways = 4KB.
+	return New(Config{SizeBytes: 512, Ways: 2}, Config{SizeBytes: 4096, Ways: 4})
+}
+
+func TestColdMiss(t *testing.T) {
+	h := tiny()
+	l1, llc := h.Access(0, App)
+	if l1 || llc {
+		t.Error("first access must miss both levels")
+	}
+	l1, llc = h.Access(0, App)
+	if !l1 {
+		t.Error("second access to the same line must hit L1")
+	}
+	_ = llc
+}
+
+func TestSameLineDifferentBytes(t *testing.T) {
+	h := tiny()
+	h.Access(0, App)
+	l1, _ := h.Access(63, App) // same 64B line
+	if !l1 {
+		t.Error("access within the same line must hit")
+	}
+	l1, _ = h.Access(64, App) // next line
+	if l1 {
+		t.Error("next line must miss L1")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h := tiny()
+	// L1 has 4 sets, 2 ways. Lines 0, 4, 8 map to set 0 (line % 4).
+	h.Access(0*64, App)
+	h.Access(4*64, App)
+	h.Access(8*64, App) // evicts line 0 (LRU)
+	l1, _ := h.Access(4*64, App)
+	if !l1 {
+		t.Error("line 4 should still be resident")
+	}
+	l1, _ = h.Access(0*64, App)
+	if l1 {
+		t.Error("line 0 should have been evicted")
+	}
+}
+
+func TestLRURecencyUpdate(t *testing.T) {
+	h := tiny()
+	h.Access(0*64, App)
+	h.Access(4*64, App)
+	h.Access(0*64, App) // refresh line 0; line 4 becomes LRU
+	h.Access(8*64, App) // evicts line 4
+	if l1, _ := h.Access(0*64, App); !l1 {
+		t.Error("refreshed line 0 must survive")
+	}
+	if l1, _ := h.Access(4*64, App); l1 {
+		t.Error("line 4 must have been evicted")
+	}
+}
+
+func TestLLCBacksL1(t *testing.T) {
+	h := tiny()
+	// Fill L1 set 0 beyond capacity; evicted lines should still hit LLC.
+	for i := int64(0); i < 4; i++ {
+		h.Access(i*4*64, App)
+	}
+	// Line 0 is out of L1 but in LLC (LLC set count 16: lines 0,4,8,12
+	// map to distinct LLC sets, so no LLC eviction yet).
+	l1, llc := h.Access(0, App)
+	if l1 {
+		t.Error("line 0 should miss L1")
+	}
+	if !llc {
+		t.Error("line 0 should hit LLC")
+	}
+}
+
+func TestActorAttribution(t *testing.T) {
+	h := tiny()
+	h.Access(0, App)
+	h.Access(64*100, Tiering)
+	h.Access(64*200, Tiering)
+	l1 := h.L1()
+	if l1.Accesses[App] != 1 || l1.Accesses[Tiering] != 2 {
+		t.Errorf("accesses = %+v", l1.Accesses)
+	}
+	if l1.Misses[App] != 1 || l1.Misses[Tiering] != 2 {
+		t.Errorf("misses = %+v", l1.Misses)
+	}
+	if got := l1.MissFraction(Tiering); got < 0.6 || got > 0.7 {
+		t.Errorf("tiering miss fraction = %v, want 2/3", got)
+	}
+}
+
+func TestMissFractionEmpty(t *testing.T) {
+	var s Stats
+	if s.MissFraction(App) != 0 {
+		t.Error("empty stats should report 0 miss fraction")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	h := tiny()
+	h.Access(0, App)
+	h.ResetStats()
+	if h.L1().TotalAccesses() != 0 {
+		t.Error("ResetStats must zero counters")
+	}
+	if l1, _ := h.Access(0, App); !l1 {
+		t.Error("ResetStats must keep cache contents warm")
+	}
+}
+
+func TestDefaultConfigShape(t *testing.T) {
+	l1, llc := DefaultConfig()
+	if l1.SizeBytes != 48<<10 || l1.Ways != 12 {
+		t.Errorf("L1 default = %+v", l1)
+	}
+	if llc.SizeBytes <= l1.SizeBytes {
+		t.Error("LLC must be larger than L1")
+	}
+	// Defaults must construct.
+	NewDefault().Access(0, App)
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	// A working set smaller than L1 must converge to ~100% hits.
+	h := NewDefault()
+	lines := int64(100) // 6.4KB << 48KB
+	for pass := 0; pass < 3; pass++ {
+		for i := int64(0); i < lines; i++ {
+			h.Access(i*64, App)
+		}
+	}
+	st := h.L1()
+	hitRate := 1 - float64(st.TotalMisses())/float64(st.TotalAccesses())
+	if hitRate < 0.6 {
+		t.Errorf("hit rate for resident set = %v, want > 0.6", hitRate)
+	}
+}
+
+func TestWorkingSetExceedsLLC(t *testing.T) {
+	// A streaming sweep much larger than LLC should miss nearly always.
+	h := NewDefault()
+	for i := int64(0); i < 100000; i++ {
+		h.Access(i*64, App)
+	}
+	llc := h.LLC()
+	missRate := float64(llc.TotalMisses()) / float64(llc.TotalAccesses())
+	if missRate < 0.95 {
+		t.Errorf("streaming LLC miss rate = %v, want ≈ 1", missRate)
+	}
+}
+
+// Property: hits + misses per actor always equal accesses... trivially true
+// by construction, so assert the meaningful version: re-accessing the same
+// address twice in a row always hits L1, for arbitrary addresses.
+func TestRepeatAlwaysHits(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		h := tiny()
+		for _, a := range addrs {
+			h.Access(int64(a), App)
+			if l1, _ := h.Access(int64(a), App); !l1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadWaysPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Ways=0 must panic")
+		}
+	}()
+	New(Config{SizeBytes: 512, Ways: 0}, Config{SizeBytes: 4096, Ways: 4})
+}
+
+func BenchmarkAccessHot(b *testing.B) {
+	h := NewDefault()
+	for i := 0; i < b.N; i++ {
+		h.Access(int64(i%64)*64, App)
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	h := NewDefault()
+	rng := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		h.Access(int64(rng.Uint64n(1<<30)), App)
+	}
+}

@@ -1,0 +1,520 @@
+// Package core implements HybridTier, the paper's primary contribution: an
+// adaptive and lightweight memory tiering policy that tracks both long-term
+// access frequency and short-term access momentum with counting Bloom
+// filters (§3, §4).
+//
+// Per sampled access, both trackers are incremented. Promotion follows the
+// Table 1 matrix — a page is promoted when its frequency exceeds the
+// auto-tuned frequency threshold *or* its momentum exceeds the (empirically
+// set) momentum threshold. Demotion triggers on a fast-tier free-space
+// watermark and walks the address space linearly: pages cold on both metrics
+// demote immediately, pages with frequency but no momentum get a second
+// chance, and pages with momentum are left alone (likely just promoted).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cbf"
+	"repro/internal/mem"
+	"repro/internal/tier"
+)
+
+// Config parameterizes HybridTier. DefaultConfig values follow §4 and §7.
+type Config struct {
+	// FastPages is the fast-tier capacity in pages; CBF sizing (§4.2) uses
+	// n = SizingFactor × FastPages.
+	FastPages int
+	// SizingFactor scales the CBF's tracked-key budget relative to the
+	// fast-tier capacity; > 1 leaves headroom for churn through the hot
+	// set. 3.4 reproduces the paper's Table 4 metadata fractions.
+	SizingFactor float64
+	// K is the CBF hash count (paper: 4).
+	K int
+	// ErrorRate is the CBF tracking-error target p (paper: 0.001).
+	ErrorRate float64
+	// CounterBits is the CBF counter width: 4 for regular pages, 16 for
+	// huge pages (§4.4).
+	CounterBits int
+	// Blocked selects the cache-line-blocked CBF layout (§4.2).
+	Blocked bool
+	// MomentumDivisor shrinks the momentum CBF relative to the frequency
+	// CBF (paper: 128× less memory).
+	MomentumDivisor int
+	// FreqCoolSamples is the frequency tracker's cooling period in
+	// processed samples (high period: captures long-term distribution).
+	FreqCoolSamples int
+	// MomCoolSamples is the momentum tracker's cooling period in samples
+	// (low period: only recent access intensity survives).
+	MomCoolSamples int
+	// MomentumThreshold is the promotion threshold on the momentum metric
+	// (paper default: 3; sensitivity in Fig. 17).
+	MomentumThreshold uint32
+	// MinFreqThreshold floors the auto-tuned frequency threshold.
+	MinFreqThreshold uint32
+	// PromoBatch is the number of samples per promotion batch (§4.3:
+	// 100,000 in the paper, scaled to simulated sampling rates).
+	PromoBatch int
+	// PromoWatermark: demotion starts when fast free space falls below
+	// this fraction of capacity (PROMO_WMARK).
+	PromoWatermark float64
+	// DemoteWatermark: demotion stops once free space exceeds this
+	// fraction (DEMOTE_WMARK). Must be ≥ PromoWatermark.
+	DemoteWatermark float64
+	// SecondChanceNs is the revisit delay for second-chance pages
+	// (paper: 1 minute, scaled to virtual time).
+	SecondChanceNs int64
+	// DisableMomentum turns off the momentum tracker, yielding the
+	// frequency-only ablation of Fig. 15 (HybridTier-onlyFreqCBF).
+	DisableMomentum bool
+	// DisableSecondChance demotes high-frequency/low-momentum pages
+	// immediately instead of marking and revisiting them — the ablation
+	// for the §4.3 second-chance design choice.
+	DisableSecondChance bool
+	// Seed differentiates the CBF hash streams.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's configuration scaled to the simulator's
+// sampling rates, for a fast tier of fastPages pages.
+func DefaultConfig(fastPages int) Config {
+	return Config{
+		FastPages:         fastPages,
+		SizingFactor:      3.4,
+		K:                 4,
+		ErrorRate:         0.001,
+		CounterBits:       4,
+		Blocked:           true,
+		MomentumDivisor:   128,
+		FreqCoolSamples:   60_000,
+		MomCoolSamples:    2_000,
+		MomentumThreshold: 3,
+		MinFreqThreshold:  2,
+		PromoBatch:        512,
+		PromoWatermark:    0.02,
+		DemoteWatermark:   0.08,
+		SecondChanceNs:    30_000_000, // 30 virtual ms ≈ the paper's 1 min, scaled
+		Seed:              0x48595254, // "HYRT"
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.FastPages <= 0 {
+		return fmt.Errorf("core: FastPages must be positive, got %d", c.FastPages)
+	}
+	if c.SizingFactor <= 0 {
+		return fmt.Errorf("core: SizingFactor must be positive, got %v", c.SizingFactor)
+	}
+	if c.K <= 0 || c.ErrorRate <= 0 || c.ErrorRate >= 1 {
+		return fmt.Errorf("core: bad CBF parameters K=%d p=%v", c.K, c.ErrorRate)
+	}
+	switch c.CounterBits {
+	case 4, 8, 16:
+	default:
+		return fmt.Errorf("core: CounterBits must be 4, 8, or 16, got %d", c.CounterBits)
+	}
+	if c.MomentumDivisor <= 0 {
+		return fmt.Errorf("core: MomentumDivisor must be positive")
+	}
+	if c.FreqCoolSamples <= 0 || c.MomCoolSamples <= 0 {
+		return fmt.Errorf("core: cooling periods must be positive")
+	}
+	if c.PromoBatch <= 0 {
+		return fmt.Errorf("core: PromoBatch must be positive")
+	}
+	if c.DemoteWatermark < c.PromoWatermark {
+		return fmt.Errorf("core: DemoteWatermark %v < PromoWatermark %v",
+			c.DemoteWatermark, c.PromoWatermark)
+	}
+	return nil
+}
+
+// scanMinIntervalNs bounds how often the demotion scan may run.
+const scanMinIntervalNs = 1_000_000
+
+// secondChance records a marked page's frequency at mark time (§4.3).
+type secondChance struct {
+	markedAt int64
+	freq     uint32
+}
+
+// HybridTier is the tiering policy. It implements tier.Policy.
+type HybridTier struct {
+	cfg Config
+	env tier.Env
+
+	freq cbf.Filter
+	mom  cbf.Filter
+
+	// histEst approximates the page-count hotness histogram: histEst[c] is
+	// the estimated number of pages with frequency estimate c. Maintained
+	// incrementally from CBF count transitions, halved on cooling, it
+	// drives the Memtis-style automatic frequency threshold (§3.1).
+	histEst    []int64
+	freqThresh uint32
+
+	samplesSinceFreqCool int
+	samplesSinceMomCool  int
+	samplesSinceBatch    int
+
+	promoQueue []mem.PageID
+	marked     map[mem.PageID]secondChance
+	scanCursor mem.PageID
+	lastScanNs int64
+
+	// metadata region offsets for cache modeling: [0, freqBytes) is the
+	// frequency CBF, then the momentum CBF.
+	momMetaBase int64
+
+	touchScratch []int64
+
+	stats Stats
+}
+
+// Stats counts HybridTier activity.
+type Stats struct {
+	Samples         uint64
+	Promoted        uint64
+	PromoSkipped    uint64 // wanted promotion but fast tier stayed full
+	Demoted         uint64
+	SecondChanceHit uint64 // marked pages that survived (re-accessed)
+	SecondChanceOut uint64 // marked pages demoted after revisit
+	FreqCoolings    uint64
+	MomCoolings     uint64
+	ScanVisited     uint64
+}
+
+var _ tier.Policy = (*HybridTier)(nil)
+
+// New constructs HybridTier from cfg.
+func New(cfg Config) (*HybridTier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := int(cfg.SizingFactor * float64(cfg.FastPages))
+	freqCounters := cbf.SizeForError(n, cfg.ErrorRate, cfg.K)
+	// The momentum CBF only needs to hold the pages active within one
+	// momentum cooling window (§4.2: "the number of pages stored at a
+	// given moment is significantly less than that of the frequency CBF").
+	// At datacenter scale that works out to the paper's 128× size
+	// reduction; at simulated scale the active-window bound is what keeps
+	// the filter accurate, so take whichever is larger.
+	momCounters := cbf.SizeForError(2*cfg.MomCoolSamples, cfg.ErrorRate, cfg.K)
+	if floor := freqCounters / cfg.MomentumDivisor; momCounters < floor {
+		momCounters = floor
+	}
+	if momCounters < 64 {
+		momCounters = 64
+	}
+	freq, err := cbf.New(cbf.Params{
+		K: cfg.K, CounterBits: cfg.CounterBits, Counters: freqCounters,
+		Blocked: cfg.Blocked, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mom, err := cbf.New(cbf.Params{
+		K: cfg.K, CounterBits: cfg.CounterBits, Counters: momCounters,
+		Blocked: cfg.Blocked, Seed: cfg.Seed ^ 0x6d6f6d, // independent hash stream
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &HybridTier{
+		cfg:         cfg,
+		freq:        freq,
+		mom:         mom,
+		histEst:     make([]int64, int(freq.MaxCount())+1),
+		freqThresh:  cfg.MinFreqThreshold,
+		marked:      make(map[mem.PageID]secondChance),
+		momMetaBase: freq.SizeBytes(),
+	}
+	return h, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *HybridTier {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Name implements tier.Policy.
+func (h *HybridTier) Name() string {
+	if h.cfg.DisableMomentum {
+		return "HybridTier-onlyFreq"
+	}
+	if !h.cfg.Blocked {
+		return "HybridTier-CBF"
+	}
+	return "HybridTier"
+}
+
+// Attach implements tier.Policy.
+func (h *HybridTier) Attach(env tier.Env) { h.env = env }
+
+// Config returns the policy configuration.
+func (h *HybridTier) Config() Config { return h.cfg }
+
+// Stats returns a copy of the activity counters.
+func (h *HybridTier) Stats() Stats { return h.stats }
+
+// FreqThreshold returns the current auto-tuned frequency threshold.
+func (h *HybridTier) FreqThreshold() uint32 { return h.freqThresh }
+
+// FreqEstimate returns the frequency tracker's estimate for p (test hook
+// and Table 5 ground-truth comparisons).
+func (h *HybridTier) FreqEstimate(p mem.PageID) uint32 { return h.freq.Get(uint64(p)) }
+
+// MomentumEstimate returns the momentum tracker's estimate for p.
+func (h *HybridTier) MomentumEstimate(p mem.PageID) uint32 { return h.mom.Get(uint64(p)) }
+
+// MetadataBytes implements tier.Policy: both CBFs plus the second-chance
+// marks and the histogram.
+func (h *HybridTier) MetadataBytes() int64 {
+	sz := h.freq.SizeBytes() + h.mom.SizeBytes()
+	sz += int64(len(h.marked)) * 24 // page id + mark record
+	sz += int64(len(h.histEst)) * 8
+	return sz
+}
+
+// OnSamples implements tier.Policy: Algorithm 1's drain loop with CBF
+// updates replacing the per-page table of prior systems (§3.3).
+func (h *HybridTier) OnSamples(batch []tier.Sample) {
+	for _, s := range batch {
+		h.stats.Samples++
+		key := uint64(s.Page)
+
+		// Metadata traffic: one cache line for the blocked frequency CBF,
+		// one for the momentum CBF (k lines each when unblocked).
+		h.touchScratch = h.freq.TouchAddrs(key, h.touchScratch[:0])
+		for _, a := range h.touchScratch {
+			h.env.TouchMeta(a)
+		}
+
+		before := h.freq.Get(key)
+		after := h.freq.Increment(key)
+		if after > before {
+			h.histShift(before, after)
+		}
+
+		var momentum uint32
+		if !h.cfg.DisableMomentum {
+			h.touchScratch = h.mom.TouchAddrs(key, h.touchScratch[:0])
+			for _, a := range h.touchScratch {
+				h.env.TouchMeta(h.momMetaBase + a)
+			}
+			momentum = h.mom.Increment(key)
+		}
+
+		// Table 1 promotion rule: high frequency OR high momentum.
+		if s.Tier == mem.Slow {
+			if after >= h.freqThresh ||
+				(!h.cfg.DisableMomentum && momentum >= h.cfg.MomentumThreshold) {
+				h.promoQueue = append(h.promoQueue, s.Page)
+			}
+		}
+
+		h.samplesSinceBatch++
+		if h.samplesSinceBatch >= h.cfg.PromoBatch {
+			h.flushPromotions()
+		}
+
+		h.samplesSinceFreqCool++
+		if h.samplesSinceFreqCool >= h.cfg.FreqCoolSamples {
+			h.coolFrequency()
+		}
+		if !h.cfg.DisableMomentum {
+			h.samplesSinceMomCool++
+			if h.samplesSinceMomCool >= h.cfg.MomCoolSamples {
+				h.mom.Cool()
+				h.samplesSinceMomCool = 0
+				h.stats.MomCoolings++
+				// Cooling sweeps the momentum array once.
+				h.env.Charge(float64(h.mom.SizeBytes()) / 64)
+			}
+		}
+	}
+}
+
+// histShift moves one page of estimated histogram mass from count a to b.
+func (h *HybridTier) histShift(a, b uint32) {
+	if int(a) < len(h.histEst) && h.histEst[a] > 0 {
+		h.histEst[a]--
+	}
+	if int(b) < len(h.histEst) {
+		h.histEst[b]++
+	}
+}
+
+// coolFrequency halves the frequency CBF and the histogram estimate, then
+// retunes the threshold.
+func (h *HybridTier) coolFrequency() {
+	h.freq.Cool()
+	h.samplesSinceFreqCool = 0
+	h.stats.FreqCoolings++
+	cooled := make([]int64, len(h.histEst))
+	for c, n := range h.histEst {
+		cooled[c/2] += n
+	}
+	copy(h.histEst, cooled)
+	h.env.Charge(float64(h.freq.SizeBytes()) / 64) // one sweep of the array
+	h.retuneThreshold()
+}
+
+// retuneThreshold picks the smallest frequency threshold whose hot set fits
+// the fast tier (§3.1, "similar to Memtis").
+func (h *HybridTier) retuneThreshold() {
+	budget := int64(h.cfg.FastPages)
+	var cum int64
+	thresh := uint32(len(h.histEst) - 1)
+	for c := len(h.histEst) - 1; c >= int(h.cfg.MinFreqThreshold); c-- {
+		cum += h.histEst[c]
+		if cum > budget {
+			break
+		}
+		thresh = uint32(c)
+	}
+	if thresh < h.cfg.MinFreqThreshold {
+		thresh = h.cfg.MinFreqThreshold
+	}
+	h.freqThresh = thresh
+}
+
+// flushPromotions issues the batched promotions (§4.3: one syscall per
+// batch). When the fast tier is full it runs watermark demotion — at most
+// once per batch, so a saturated tier cannot trigger a scan storm — and
+// keeps promoting into whatever space that freed.
+func (h *HybridTier) flushPromotions() {
+	h.samplesSinceBatch = 0
+	if len(h.promoQueue) == 0 {
+		return
+	}
+	retried := false
+	for _, p := range h.promoQueue {
+		err := h.env.Promote(p)
+		if err != nil && !retried {
+			retried = true
+			h.demoteToWatermark()
+			err = h.env.Promote(p)
+		}
+		if err != nil {
+			h.stats.PromoSkipped++
+			continue
+		}
+		h.stats.Promoted++
+	}
+	h.promoQueue = h.promoQueue[:0]
+}
+
+// Tick implements tier.Policy: threshold refresh, watermark checks, and
+// second-chance revisits.
+func (h *HybridTier) Tick() {
+	h.retuneThreshold()
+	m := h.env.Mem()
+	if float64(m.FastFree()) < h.cfg.PromoWatermark*float64(m.FastCap()) {
+		h.demoteToWatermark()
+	}
+	h.revisitMarked()
+}
+
+// demoteToWatermark linearly scans the fast tier (§4.3: /proc/PID/pagemaps
+// walk) applying the Table 1 demotion matrix until free space reaches
+// DEMOTE_WMARK.
+func (h *HybridTier) demoteToWatermark() {
+	now := h.env.Now()
+	// Rate-limit address-space scans: a full fast tier with no demotable
+	// pages must not rescan on every promotion attempt.
+	if now-h.lastScanNs < scanMinIntervalNs {
+		return
+	}
+	h.lastScanNs = now
+	m := h.env.Mem()
+	target := int(h.cfg.DemoteWatermark * float64(m.FastCap()))
+	if target < 1 {
+		target = 1
+	}
+	visited := 0
+	last := h.scanCursor
+	m.ScanFastFrom(h.scanCursor, func(p mem.PageID) bool {
+		last = p
+		visited++
+		key := uint64(p)
+		f := h.freq.Get(key)
+		var mo uint32
+		if !h.cfg.DisableMomentum {
+			mo = h.mom.Get(key)
+		}
+		switch {
+		case mo >= h.cfg.MomentumThreshold:
+			// Recently active (possibly just promoted): leave alone.
+		case f >= h.freqThresh:
+			// High frequency, low momentum: second chance (§4.3), unless
+			// the ablation demotes such pages on the spot.
+			if h.cfg.DisableSecondChance {
+				if h.env.Demote(p) == nil {
+					h.stats.Demoted++
+				}
+				break
+			}
+			if _, ok := h.marked[p]; !ok {
+				h.marked[p] = secondChance{markedAt: now, freq: f}
+			}
+		default:
+			// Cold on both metrics: demote immediately.
+			if h.env.Demote(p) == nil {
+				h.stats.Demoted++
+			}
+		}
+		return m.FastFree() < target
+	})
+	h.scanCursor = last + 1
+	h.stats.ScanVisited += uint64(visited)
+	// Scan cost: one pagemap lookup + two CBF lookups per visited page.
+	h.env.Charge(float64(visited) * 30)
+}
+
+// revisitMarked demotes marked pages whose frequency estimate did not grow
+// since marking (not accessed) once the revisit delay elapses.
+func (h *HybridTier) revisitMarked() {
+	if len(h.marked) == 0 {
+		return
+	}
+	now := h.env.Now()
+	m := h.env.Mem()
+	for p, mark := range h.marked {
+		if now-mark.markedAt < h.cfg.SecondChanceNs {
+			continue
+		}
+		cur := h.freq.Get(uint64(p))
+		var mo uint32
+		if !h.cfg.DisableMomentum {
+			mo = h.mom.Get(uint64(p))
+		}
+		// "Not accessed since marking": allow one count of CBF collision
+		// creep — other keys sharing counters can inflate a stale page's
+		// estimate slightly. A genuinely re-hot page also shows momentum.
+		stale := cur <= mark.freq+1 && mo < h.cfg.MomentumThreshold
+		if stale && m.TierOf(p) == mem.Fast {
+			if h.env.Demote(p) == nil {
+				h.stats.Demoted++
+				h.stats.SecondChanceOut++
+			}
+		} else {
+			h.stats.SecondChanceHit++
+		}
+		delete(h.marked, p)
+	}
+	h.env.Charge(float64(len(h.marked)) * 10)
+}
+
+// HistSnapshot returns a copy of the internal hotness-histogram estimate
+// (diagnostics and tests).
+func (h *HybridTier) HistSnapshot() []int64 {
+	out := make([]int64, len(h.histEst))
+	copy(out, h.histEst)
+	return out
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/tier"
+)
+
+// LiveEnv is a tier.Env over a Memory using wall-clock time, for running a
+// policy as a real background thread — the deployment shape of the paper's
+// tier.so runtime (§4.1), with migration and sampling facilities injected
+// rather than simulated.
+//
+// Concurrency contract: the tier.Env methods (Promote, Demote, Charge,
+// LastAccess, Mem) are policy-side and must only be called from the policy,
+// which the Runtime drives on a single goroutine while holding the
+// environment lock. Application-side goroutines use the exported query
+// helpers (RecordAccess, TierOf, BusyNs), which take the lock themselves.
+type LiveEnv struct {
+	mu    sync.Mutex
+	m     *mem.Memory
+	start time.Time
+	// OnMigrate, when non-nil, is invoked after every successful promotion
+	// or demotion with the page and its new tier — the hook a real
+	// deployment uses to issue move_pages-style syscalls. It is called
+	// with the environment lock held; keep it short.
+	OnMigrate func(p mem.PageID, to mem.Tier)
+
+	lastAccess map[mem.PageID]int64
+	busyNs     float64
+}
+
+var _ tier.Env = (*LiveEnv)(nil)
+
+// NewLiveEnv wraps m in a runtime environment.
+func NewLiveEnv(m *mem.Memory) *LiveEnv {
+	return &LiveEnv{m: m, start: time.Now(), lastAccess: make(map[mem.PageID]int64)}
+}
+
+// Mem implements tier.Env (policy-side).
+func (e *LiveEnv) Mem() *mem.Memory { return e.m }
+
+// Now implements tier.Env: nanoseconds since the environment was created.
+func (e *LiveEnv) Now() int64 { return time.Since(e.start).Nanoseconds() }
+
+// Promote implements tier.Env (policy-side; lock held by the Runtime).
+func (e *LiveEnv) Promote(p mem.PageID) error {
+	err := e.m.Promote(p)
+	if err == nil && e.OnMigrate != nil {
+		e.OnMigrate(p, mem.Fast)
+	}
+	return err
+}
+
+// Demote implements tier.Env (policy-side; lock held by the Runtime).
+func (e *LiveEnv) Demote(p mem.PageID) error {
+	err := e.m.Demote(p)
+	if err == nil && e.OnMigrate != nil {
+		e.OnMigrate(p, mem.Slow)
+	}
+	return err
+}
+
+// Charge implements tier.Env (policy-side; lock held by the Runtime).
+func (e *LiveEnv) Charge(ns float64) { e.busyNs += ns }
+
+// TouchMeta implements tier.Env; live deployments have real caches.
+func (e *LiveEnv) TouchMeta(int64) {}
+
+// LastAccess implements tier.Env (policy-side; lock held by the Runtime).
+func (e *LiveEnv) LastAccess(p mem.PageID) int64 { return e.lastAccess[p] }
+
+// RecordAccess notes an application access (first-touch allocation and
+// recency bookkeeping) and returns the serving tier. Safe for concurrent
+// use by application goroutines.
+func (e *LiveEnv) RecordAccess(p mem.PageID) (mem.Tier, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, err := e.m.Touch(p)
+	if err == nil {
+		e.lastAccess[p] = time.Since(e.start).Nanoseconds()
+	}
+	return t, err
+}
+
+// TierOf reports p's current tier. Safe for concurrent use.
+func (e *LiveEnv) TierOf(p mem.PageID) mem.Tier {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.m.TierOf(p)
+}
+
+// FastUsed reports current fast-tier occupancy. Safe for concurrent use.
+func (e *LiveEnv) FastUsed() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.m.FastUsed()
+}
+
+// BusyNs reports accumulated tiering-thread work. Safe for concurrent use.
+func (e *LiveEnv) BusyNs() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.busyNs
+}
+
+// RuntimeConfig configures the background runtime.
+type RuntimeConfig struct {
+	// BufferSamples is the capacity of the sample channel; excess samples
+	// are dropped, as a hardware sampling buffer would.
+	BufferSamples int
+	// BatchSamples is how many samples are delivered per OnSamples call.
+	BatchSamples int
+	// TickEvery is the wall-clock policy tick period.
+	TickEvery time.Duration
+}
+
+// DefaultRuntimeConfig returns deployment defaults.
+func DefaultRuntimeConfig() RuntimeConfig {
+	return RuntimeConfig{BufferSamples: 1 << 16, BatchSamples: 1024, TickEvery: 10 * time.Millisecond}
+}
+
+// envLocker is satisfied by environments that need exclusion between
+// policy execution and application-side queries (LiveEnv).
+type envLocker interface {
+	sync.Locker
+}
+
+// Lock and Unlock expose the environment lock to the Runtime.
+func (e *LiveEnv) Lock()   { e.mu.Lock() }
+func (e *LiveEnv) Unlock() { e.mu.Unlock() }
+
+// Runtime runs a tiering policy on its own goroutine, fed by Feed — the
+// single userspace runtime thread of §4.1. The application (or a PEBS
+// reader) calls Feed with sampled accesses; the runtime batches them into
+// the policy and fires periodic ticks for cooling and demotion scans.
+type Runtime struct {
+	cfg     RuntimeConfig
+	policy  tier.Policy
+	env     tier.Env
+	lock    envLocker // nil when the env needs no exclusion
+	samples chan tier.Sample
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	fed     uint64
+	dropped uint64
+	started bool
+}
+
+// NewRuntime creates a runtime binding policy to env. The policy must not
+// be driven by any other goroutine once the runtime starts.
+func NewRuntime(policy tier.Policy, env tier.Env, cfg RuntimeConfig) *Runtime {
+	if cfg.BufferSamples <= 0 {
+		cfg.BufferSamples = 1 << 16
+	}
+	if cfg.BatchSamples <= 0 {
+		cfg.BatchSamples = 1024
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 10 * time.Millisecond
+	}
+	r := &Runtime{
+		cfg:     cfg,
+		policy:  policy,
+		env:     env,
+		samples: make(chan tier.Sample, cfg.BufferSamples),
+		stop:    make(chan struct{}),
+	}
+	if l, ok := env.(envLocker); ok {
+		r.lock = l
+	}
+	return r
+}
+
+// Start attaches the policy and launches the runtime goroutine.
+func (r *Runtime) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+
+	r.policy.Attach(r.env)
+	r.wg.Add(1)
+	go r.loop()
+}
+
+// Feed offers one sampled access to the runtime. It never blocks: when the
+// buffer is full the sample is dropped (and counted), mirroring hardware
+// sampling overflow. It reports whether the sample was accepted.
+func (r *Runtime) Feed(s tier.Sample) bool {
+	select {
+	case r.samples <- s:
+		r.mu.Lock()
+		r.fed++
+		r.mu.Unlock()
+		return true
+	default:
+		r.mu.Lock()
+		r.dropped++
+		r.mu.Unlock()
+		return false
+	}
+}
+
+// Stats returns (accepted, dropped) sample counts.
+func (r *Runtime) Stats() (fed, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fed, r.dropped
+}
+
+// Stop shuts the runtime down, draining buffered samples first. It is
+// idempotent.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	if !r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = false
+	r.mu.Unlock()
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// deliver runs fn (a policy call) under the environment lock when the
+// environment requires exclusion.
+func (r *Runtime) deliver(fn func()) {
+	if r.lock != nil {
+		r.lock.Lock()
+		defer r.lock.Unlock()
+	}
+	fn()
+}
+
+func (r *Runtime) loop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.TickEvery)
+	defer ticker.Stop()
+	batch := make([]tier.Sample, 0, r.cfg.BatchSamples)
+	for {
+		select {
+		case s := <-r.samples:
+			batch = append(batch, s)
+			// Drain whatever else is immediately available, up to a batch.
+		fill:
+			for len(batch) < r.cfg.BatchSamples {
+				select {
+				case s := <-r.samples:
+					batch = append(batch, s)
+				default:
+					break fill
+				}
+			}
+			r.deliver(func() { r.policy.OnSamples(batch) })
+			batch = batch[:0]
+		case <-ticker.C:
+			r.deliver(r.policy.Tick)
+		case <-r.stop:
+			for {
+				select {
+				case s := <-r.samples:
+					batch = append(batch, s)
+				default:
+					if len(batch) > 0 {
+						r.deliver(func() { r.policy.OnSamples(batch) })
+					}
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/tier"
+)
+
+func TestLiveEnvBasics(t *testing.T) {
+	m := mem.MustNew(mem.Config{
+		NumPages: 64, FastPages: 8,
+		PageBytes: mem.RegularPageBytes, Alloc: mem.AllocSlow,
+	})
+	env := NewLiveEnv(m)
+	var migrated []mem.PageID
+	env.OnMigrate = func(p mem.PageID, to mem.Tier) {
+		if to == mem.Fast {
+			migrated = append(migrated, p)
+		}
+	}
+	if tier, err := env.RecordAccess(5); err != nil || tier != mem.Slow {
+		t.Fatalf("RecordAccess = %v, %v", tier, err)
+	}
+	if env.TierOf(5) != mem.Slow {
+		t.Error("TierOf should report slow before promotion")
+	}
+	if err := env.Promote(5); err != nil {
+		t.Fatal(err)
+	}
+	if env.FastUsed() != 1 {
+		t.Error("FastUsed should report the promotion")
+	}
+	if len(migrated) != 1 || migrated[0] != 5 {
+		t.Errorf("OnMigrate hook: %v", migrated)
+	}
+	if err := env.Demote(5); err != nil {
+		t.Fatal(err)
+	}
+	env.Charge(100)
+	if env.BusyNs() != 100 {
+		t.Error("Charge not recorded")
+	}
+	if env.Now() < 0 {
+		t.Error("Now must be non-negative")
+	}
+	env.TouchMeta(0) // no-op, must not panic
+}
+
+func TestRuntimeDeliversSamples(t *testing.T) {
+	m := mem.MustNew(mem.Config{
+		NumPages: 4096, FastPages: 256,
+		PageBytes: mem.RegularPageBytes, Alloc: mem.AllocSlow,
+	})
+	env := NewLiveEnv(m)
+	cfg := DefaultConfig(256)
+	cfg.MinFreqThreshold = 2
+	cfg.PromoBatch = 16
+	h := MustNew(cfg)
+
+	rt := NewRuntime(h, env, RuntimeConfig{
+		BufferSamples: 1 << 12,
+		BatchSamples:  64,
+		TickEvery:     time.Millisecond,
+	})
+	rt.Start()
+	defer rt.Stop()
+
+	// Feed a hot page repeatedly from several goroutines.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				t, _ := env.RecordAccess(7)
+				rt.Feed(tier.Sample{Page: 7, Tier: t})
+				time.Sleep(10 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if env.TierOf(7) == mem.Fast {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if env.TierOf(7) != mem.Fast {
+		t.Fatal("runtime never promoted the hot page")
+	}
+	fed, _ := rt.Stats()
+	if fed == 0 {
+		t.Error("no samples accepted")
+	}
+}
+
+func TestRuntimeDropsWhenFull(t *testing.T) {
+	m := mem.MustNew(mem.Config{
+		NumPages: 64, FastPages: 8,
+		PageBytes: mem.RegularPageBytes, Alloc: mem.AllocSlow,
+	})
+	env := NewLiveEnv(m)
+	h := MustNew(DefaultConfig(8))
+	rt := NewRuntime(h, env, RuntimeConfig{BufferSamples: 4, BatchSamples: 4, TickEvery: time.Hour})
+	// Not started: nothing consumes, so the 5th sample must drop.
+	for i := 0; i < 5; i++ {
+		rt.Feed(tier.Sample{Page: 1})
+	}
+	fed, dropped := rt.Stats()
+	if fed != 4 || dropped != 1 {
+		t.Errorf("fed=%d dropped=%d, want 4/1", fed, dropped)
+	}
+	rt.Start()
+	rt.Stop() // must drain and exit cleanly
+}
+
+func TestRuntimeStopIdempotent(t *testing.T) {
+	m := mem.MustNew(mem.Config{
+		NumPages: 64, FastPages: 8,
+		PageBytes: mem.RegularPageBytes, Alloc: mem.AllocSlow,
+	})
+	rt := NewRuntime(MustNew(DefaultConfig(8)), NewLiveEnv(m), DefaultRuntimeConfig())
+	rt.Start()
+	rt.Start() // second start is a no-op
+	rt.Stop()
+	rt.Stop() // second stop is a no-op
+}
+
+func TestRuntimeDefaultsApplied(t *testing.T) {
+	m := mem.MustNew(mem.Config{
+		NumPages: 64, FastPages: 8,
+		PageBytes: mem.RegularPageBytes, Alloc: mem.AllocSlow,
+	})
+	rt := NewRuntime(MustNew(DefaultConfig(8)), NewLiveEnv(m), RuntimeConfig{})
+	if rt.cfg.BufferSamples <= 0 || rt.cfg.BatchSamples <= 0 || rt.cfg.TickEvery <= 0 {
+		t.Error("zero-value config must be defaulted")
+	}
+}

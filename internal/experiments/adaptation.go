@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "fig4", Title: "Adaptation timeline after distribution change (CacheLib)", Run: runFig4})
+	register(Experiment{ID: "tab3", Title: "Time to adapt to new access distribution", Run: runTab3})
+}
+
+// runShift executes one adaptation run: a CacheLib workload whose
+// popularity rotates by 2/3 one third of the way in.
+func runShift(s Scale, workload, policy string, ratio int) (*sim.Result, error) {
+	w, err := s.ShiftingCacheLib(workload, 21, s.AdaptOps/3)
+	if err != nil {
+		return nil, err
+	}
+	fast := fastPagesFor(w.NumPages(), ratio)
+	p, alloc, err := Policy(policy, w.NumPages(), fast, false)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig(w, p, fast)
+	cfg.Ops = s.AdaptOps
+	cfg.Alloc = alloc
+	cfg.Seed = 21
+	// Adaptation timelines need finer windows than throughput runs to
+	// resolve the re-convergence point.
+	cfg.WindowNs = 5_000_000
+	return sim.Run(cfg)
+}
+
+// runFig4 reproduces Figure 4: median cache latency over time for
+// AutoNUMA, Memtis, and HybridTier around the distribution change.
+func runFig4(s Scale) (*Table, error) {
+	policies := []string{"AutoNUMA", "Memtis", "HybridTier"}
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Mean latency (ns) over time, CacheLib CDN 1:8, shift at 1/3 of run",
+		Columns: append([]string{"time(ms)"}, policies...),
+		Notes: []string{
+			"paper: HybridTier re-converges fastest (~250 s); Memtis ~1400 s; AutoNUMA slowest",
+		},
+	}
+	series := make(map[string][]stats.SeriesPoint)
+	var shiftNs int64
+	for _, pol := range policies {
+		res, err := runShift(s, "cdn", pol, 8)
+		if err != nil {
+			return nil, err
+		}
+		series[pol] = res.Series
+		if res.ShiftNs > 0 {
+			shiftNs = res.ShiftNs
+		}
+		if adapt, ok := res.AdaptationNs(10, 0.05); ok {
+			t.Notes = append(t.Notes,
+				fmt.Sprintf("%s adapted %.1f ms after the shift", pol, float64(adapt)/1e6))
+		} else {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s did not re-converge within the run", pol))
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("distribution change at %.1f ms", float64(shiftNs)/1e6))
+
+	// Align windows across policies by index (windows share WindowNs).
+	maxLen := 0
+	for _, pts := range series {
+		if len(pts) > maxLen {
+			maxLen = len(pts)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(policies)+1)
+		timeMs := ""
+		for _, pol := range policies {
+			if i < len(series[pol]) {
+				if timeMs == "" {
+					timeMs = fmt.Sprintf("%.0f", float64(series[pol][i].Time)/1e6)
+				}
+			}
+		}
+		row = append(row, timeMs)
+		for _, pol := range policies {
+			if i < len(series[pol]) {
+				row = append(row, fmt.Sprintf("%.0f", series[pol][i].Mean))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// runTab3 reproduces Table 3: time (virtual) to come within 1% of the
+// steady-state median latency after the shift, Memtis vs HybridTier over
+// both CacheLib workloads and the configured ratios.
+func runTab3(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "tab3",
+		Title:   "Time to adapt to new distribution (virtual ms; lower is better)",
+		Columns: []string{"workload", "ratio", "Memtis", "HybridTier", "reduction"},
+		Notes: []string{
+			"paper: HybridTier adapts 1.7-5.9× faster (3.2× average); '>run' = never re-converged",
+		},
+	}
+	var reductions []float64
+	for _, wl := range []string{"cdn", "social"} {
+		for _, ratio := range s.Ratios {
+			vals := map[string]string{}
+			var memtisNs, hybridNs float64
+			for _, pol := range []string{"Memtis", "HybridTier"} {
+				res, err := runShift(s, wl, pol, ratio)
+				if err != nil {
+					return nil, err
+				}
+				if adapt, ok := res.AdaptationNs(10, 0.05); ok {
+					vals[pol] = fmt.Sprintf("%.1f", float64(adapt)/1e6)
+					if pol == "Memtis" {
+						memtisNs = float64(adapt)
+					} else {
+						hybridNs = float64(adapt)
+					}
+				} else {
+					vals[pol] = ">run"
+					if pol == "Memtis" {
+						memtisNs = float64(res.ElapsedNs - res.ShiftNs)
+					} else {
+						hybridNs = float64(res.ElapsedNs - res.ShiftNs)
+					}
+				}
+			}
+			red := "n/a"
+			if hybridNs > 0 {
+				r := memtisNs / hybridNs
+				reductions = append(reductions, r)
+				red = fmt.Sprintf("%.1f×", r)
+			}
+			t.AddRow(wl, fmt.Sprintf("1:%d", ratio), vals["Memtis"], vals["HybridTier"], red)
+		}
+	}
+	if len(reductions) > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("measured average reduction: %.1f×", stats.Mean(reductions)))
+	}
+	return t, nil
+}

@@ -1,0 +1,365 @@
+// Package experiments regenerates every measurement table and figure in the
+// HybridTier paper's evaluation (§2 motivation figures, §6 evaluation
+// figures 9-17, tables 3-5). Each experiment is a named runner producing a
+// Table; cmd/hybridbench prints them, bench_test.go wraps them in testing.B
+// targets, and EXPERIMENTS.md records paper-vs-measured shapes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/tier"
+	"repro/internal/trace"
+	"repro/internal/workloads/cachelib"
+	"repro/internal/workloads/gap"
+	"repro/internal/workloads/silo"
+	"repro/internal/workloads/speccpu"
+	"repro/internal/workloads/xgboost"
+)
+
+// Scale selects experiment sizing. Quick keeps unit tests and `go test
+// -bench` fast; Full is what cmd/hybridbench runs to regenerate the paper's
+// tables at the repository's reference scale.
+type Scale struct {
+	Name            string
+	Ops             int64 // ops per simulation run
+	AdaptOps        int64 // ops for adaptation-timeline experiments
+	CacheLibObjects int
+	GapScale        int
+	GapDegree       int
+	SpecCells       int
+	SiloRecords     int
+	XGBRows         int
+	XGBFeatures     int
+	Ratios          []int // fast:slow ratios (1:N)
+}
+
+// Quick is the test-suite scale: every experiment finishes in seconds.
+var Quick = Scale{
+	Name:            "quick",
+	Ops:             150_000,
+	AdaptOps:        1_500_000,
+	CacheLibObjects: 4_000,
+	GapScale:        13,
+	GapDegree:       8,
+	SpecCells:       1 << 16,
+	SiloRecords:     1 << 15,
+	XGBRows:         1 << 17,
+	XGBFeatures:     32,
+	Ratios:          []int{16, 4},
+}
+
+// Tiny is the smallest scale that still exercises every code path; the
+// test suite and the testing.B wrappers in bench_test.go use it so
+// `go test ./...` and `go test -bench=.` stay fast.
+var Tiny = Scale{
+	Name:            "tiny",
+	Ops:             40_000,
+	AdaptOps:        120_000,
+	CacheLibObjects: 1_500,
+	GapScale:        11,
+	GapDegree:       8,
+	SpecCells:       1 << 14,
+	SiloRecords:     1 << 15,
+	XGBRows:         1 << 15,
+	XGBFeatures:     16,
+	Ratios:          []int{8},
+}
+
+// Full is the reference reproduction scale.
+var Full = Scale{
+	Name:            "full",
+	Ops:             1_500_000,
+	AdaptOps:        6_000_000,
+	CacheLibObjects: 30_000,
+	GapScale:        17,
+	GapDegree:       8,
+	SpecCells:       1 << 21,
+	SiloRecords:     1 << 20,
+	XGBRows:         1 << 20,
+	XGBFeatures:     64,
+	Ratios:          []int{16, 8, 4},
+}
+
+// WorkloadNames lists the twelve evaluation workloads (Table 2) in the
+// paper's reporting order.
+func WorkloadNames() []string {
+	return []string{
+		"cdn", "social",
+		"bfs-kron", "bfs-urand", "cc-kron", "cc-urand", "pr-kron", "pr-urand",
+		"bwaves", "roms", "silo", "xgboost",
+	}
+}
+
+// graph cache: GAP graph construction dominates workload setup, and graphs
+// are immutable, so share them between kernel sources.
+var (
+	graphMu    sync.Mutex
+	graphCache = map[string]*gap.Graph{}
+)
+
+func cachedGraph(kind gap.GraphKind, scale, degree int, seed uint64) *gap.Graph {
+	key := fmt.Sprintf("%v-%d-%d-%d", kind, scale, degree, seed)
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	if g, ok := graphCache[key]; ok {
+		return g
+	}
+	g := kind.Build(scale, degree, seed)
+	graphCache[key] = g
+	return g
+}
+
+// Workload constructs a fresh, deterministic instance of the named
+// workload at this scale.
+func (s Scale) Workload(name string, seed uint64) (trace.Source, error) {
+	switch name {
+	case "cdn":
+		cfg := cachelib.CDN(seed)
+		cfg.Objects = s.CacheLibObjects
+		return cachelib.New(cfg)
+	case "social":
+		cfg := cachelib.SocialGraph(seed)
+		cfg.Objects = s.CacheLibObjects * 6
+		return cachelib.New(cfg)
+	case "bfs-kron", "bfs-urand", "cc-kron", "cc-urand", "pr-kron", "pr-urand":
+		var kernel gap.Kind
+		switch name[:2] {
+		case "bf":
+			kernel = gap.BFS
+		case "cc":
+			kernel = gap.CC
+		default:
+			kernel = gap.PR
+		}
+		kind := gap.Kron
+		if strings.HasSuffix(name, "urand") {
+			kind = gap.URand
+		}
+		g := cachedGraph(kind, s.GapScale, s.GapDegree, seed)
+		return gap.NewSourceFromGraph(kernel, g, "gap-"+name, seed), nil
+	case "bwaves":
+		cfg := speccpu.Bwaves(seed)
+		cfg.Cells = s.SpecCells
+		return speccpu.New(cfg), nil
+	case "roms":
+		cfg := speccpu.Roms(seed)
+		cfg.Cells = s.SpecCells * 3 / 2
+		return speccpu.New(cfg), nil
+	case "silo":
+		cfg := silo.Default(seed)
+		cfg.Records = s.SiloRecords
+		return silo.New(cfg)
+	case "xgboost":
+		cfg := xgboost.Default(seed)
+		cfg.Rows = s.XGBRows
+		cfg.Features = s.XGBFeatures
+		return xgboost.New(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+}
+
+// ShiftingCacheLib builds the CDN or social-graph workload with the
+// §2.3.2 bulk distribution shift after shiftOps operations.
+func (s Scale) ShiftingCacheLib(name string, seed uint64, shiftOps int64) (trace.ShiftSource, error) {
+	var cfg cachelib.Config
+	switch name {
+	case "cdn":
+		cfg = cachelib.CDN(seed)
+		cfg.Objects = s.CacheLibObjects
+	case "social":
+		cfg = cachelib.SocialGraph(seed)
+		cfg.Objects = s.CacheLibObjects * 6
+	default:
+		return nil, fmt.Errorf("experiments: no shifting variant of %q", name)
+	}
+	cfg.ChurnEveryOps = 0 // isolate the bulk shift
+	cfg.ShiftAfterOps = shiftOps
+	cfg.ShiftFrac = 2.0 / 3.0
+	return cachelib.New(cfg)
+}
+
+// PolicyNames lists the systems compared in Figures 9-10, in plot order.
+func PolicyNames() []string {
+	return []string{"TPP", "AutoNUMA", "Memtis", "ARC", "TwoQ", "HybridTier"}
+}
+
+// Policy constructs the named tiering system for a page space and fast-tier
+// capacity, returning the policy and the first-touch allocation mode §5.2
+// prescribes for it. huge selects 2 MB-granularity configurations (§4.4).
+func Policy(name string, numPages, fastPages int, huge bool) (tier.Policy, mem.AllocMode, error) {
+	switch name {
+	case "HybridTier", "HybridTier-CBF", "HybridTier-onlyFreq":
+		cfg := core.DefaultConfig(fastPages)
+		if huge {
+			cfg.CounterBits = 16
+		}
+		cfg.Blocked = name != "HybridTier-CBF"
+		cfg.DisableMomentum = name == "HybridTier-onlyFreq"
+		p, err := core.New(cfg)
+		return p, mem.AllocFastFirst, err
+	case "Memtis":
+		return baselines.NewMemtis(baselines.DefaultMemtisConfig(numPages, fastPages)),
+			mem.AllocFastFirst, nil
+	case "AutoNUMA":
+		return baselines.NewAutoNUMA(baselines.DefaultAutoNUMAConfig(numPages)),
+			mem.AllocFastFirst, nil
+	case "TPP":
+		return baselines.NewTPP(baselines.DefaultTPPConfig(numPages)),
+			mem.AllocFastFirst, nil
+	case "ARC":
+		return baselines.NewARC(numPages, fastPages), mem.AllocSlow, nil
+	case "TwoQ":
+		return baselines.NewTwoQ(numPages, fastPages), mem.AllocSlow, nil
+	case "LRU":
+		return baselines.NewLRU(numPages, fastPages), mem.AllocSlow, nil
+	case "FirstTouch":
+		return baselines.NewStatic("FirstTouch"), mem.AllocFastFirst, nil
+	case "AllFast":
+		return baselines.NewStatic("AllFast"), mem.AllocFast, nil
+	default:
+		return nil, 0, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// fastPagesFor returns the fast-tier capacity for a 1:N ratio over a
+// footprint: fast = footprint/(N+1), preserving the paper's capacity split.
+func fastPagesFor(footprint, ratio int) int {
+	f := footprint / (ratio + 1)
+	if f < 16 {
+		f = 16
+	}
+	return f
+}
+
+// runOne builds and executes one simulation.
+func runOne(s Scale, workload, policy string, ratio int, ops int64, huge, appCache bool, seed uint64) (*sim.Result, error) {
+	w, err := s.Workload(workload, seed)
+	if err != nil {
+		return nil, err
+	}
+	fast4k := fastPagesFor(w.NumPages(), ratio)
+	numPages, fastPages := w.NumPages(), fast4k
+	if huge {
+		numPages = (numPages + 511) / 512
+		fastPages = fast4k / 512
+		if fastPages < 4 {
+			fastPages = 4
+		}
+	}
+	p, alloc, err := Policy(policy, numPages, fastPages, huge)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig(w, p, fastPages)
+	cfg.Ops = ops
+	cfg.Alloc = alloc
+	cfg.AppCacheModel = appCache
+	cfg.Seed = seed
+	if huge {
+		cfg.PageBytes = mem.HugePageBytes
+	}
+	return sim.Run(cfg)
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	line(dashes(widths))
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// Experiment is one paper artifact regenerator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s Scale) (*Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment by its ID ("fig9", "tab4", ...).
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fmtUs renders nanoseconds as microseconds with two decimals.
+func fmtUs(ns float64) string { return fmt.Sprintf("%.2f", ns/1000) }
+
+// fmtRel renders a relative-performance value.
+func fmtRel(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// fmtPct renders a fraction as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

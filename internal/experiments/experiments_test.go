@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllWorkloadsConstruct(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		w, err := Tiny.Workload(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.NumPages() <= 0 {
+			t.Errorf("%s: empty page space", name)
+		}
+		buf := w.NextOp(nil)
+		if len(buf) == 0 {
+			t.Errorf("%s: empty first op", name)
+		}
+	}
+	if _, err := Tiny.Workload("nope", 1); err == nil {
+		t.Error("unknown workload must fail")
+	}
+}
+
+func TestAllPoliciesConstruct(t *testing.T) {
+	names := append(PolicyNames(),
+		"HybridTier-CBF", "HybridTier-onlyFreq", "LRU", "FirstTouch", "AllFast")
+	for _, name := range names {
+		p, _, err := Policy(name, 10_000, 1_000, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() == "" {
+			t.Errorf("%s: empty display name", name)
+		}
+	}
+	if _, _, err := Policy("nope", 10, 5, false); err == nil {
+		t.Error("unknown policy must fail")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig2", "fig3a", "fig3b", "fig4", "fig5",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"tab3", "tab4", "tab5",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+// TestEveryExperimentRuns executes the entire registry at Tiny scale and
+// checks table shape. This is the closest thing to the paper's repro.sh.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(Tiny)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table id %q != experiment id %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for _, r := range tbl.Rows {
+				if len(r) != len(tbl.Columns) {
+					t.Fatalf("row width %d != %d columns: %v", len(r), len(tbl.Columns), r)
+				}
+			}
+			var buf bytes.Buffer
+			tbl.Fprint(&buf)
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Error("rendered table missing its id")
+			}
+		})
+	}
+}
+
+func TestFastPagesFor(t *testing.T) {
+	if got := fastPagesFor(1700, 16); got != 100 {
+		t.Errorf("fastPagesFor(1700, 16) = %d, want 100", got)
+	}
+	if got := fastPagesFor(10, 16); got != 16 {
+		t.Errorf("tiny footprints clamp to 16, got %d", got)
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "a  bb", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShiftingCacheLib(t *testing.T) {
+	w, err := Tiny.ShiftingCacheLib("cdn", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ShiftTime() != -1 {
+		t.Error("shift should not have fired yet")
+	}
+	if _, err := Tiny.ShiftingCacheLib("bfs-kron", 1, 100); err == nil {
+		t.Error("non-cachelib shifting workload must fail")
+	}
+}

@@ -1,0 +1,308 @@
+// Package mem models a two-tier CXL memory system at page granularity: a
+// fast tier (local DRAM) with limited capacity and a slow tier (CXL-attached
+// memory) holding everything else. It is the substrate the paper's runtime
+// manipulates through migration syscalls; here the same operations are
+// explicit methods with deterministic costs.
+//
+// The model is deliberately simple and fully parameterized: what tiering
+// systems react to is *which tier each page occupies* and the relative
+// latency/bandwidth gap between tiers (Figure 1: CXL ≈ 2-5× local-DRAM
+// latency, 20-70% of its per-channel bandwidth). Absolute nanosecond values
+// come from §5.1's emulation setup (124 ns idle CXL latency, 34 GB/s).
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageID identifies a page in the dense simulated address space
+// [0, NumPages). Address = PageID * PageBytes.
+type PageID uint64
+
+// Tier is a memory tier.
+type Tier uint8
+
+// The two tiers of a CXL memory system.
+const (
+	Slow Tier = iota // CXL-attached memory
+	Fast             // local DRAM
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	if t == Fast {
+		return "fast"
+	}
+	return "slow"
+}
+
+// Page sizes supported by the model (§4.4).
+const (
+	RegularPageBytes = 4 << 10
+	HugePageBytes    = 2 << 20
+)
+
+// AllocMode controls where a page lands on first touch.
+type AllocMode uint8
+
+const (
+	// AllocFastFirst places new pages in the fast tier while space remains,
+	// then falls back to slow — Linux first-touch behaviour with a NUMA
+	// fallback, used by most systems in the evaluation.
+	AllocFastFirst AllocMode = iota
+	// AllocSlow places all new pages in the slow tier, the setup §5.2 uses
+	// for ARC and TwoQ ("assume the cache is initially empty").
+	AllocSlow
+	// AllocFast places all pages in the fast tier regardless of capacity,
+	// modeling the all-fast-tier upper bound of Figure 11. FastCap is
+	// ignored.
+	AllocFast
+)
+
+// Config describes a tiered memory instance.
+type Config struct {
+	// NumPages is the total (dense) page space the workload can touch.
+	NumPages int
+	// FastPages is the fast-tier capacity in pages.
+	FastPages int
+	// PageBytes is the migration/tracking granularity (4 KB or 2 MB).
+	PageBytes int64
+	// Alloc is the first-touch placement policy.
+	Alloc AllocMode
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumPages <= 0 {
+		return fmt.Errorf("mem: NumPages must be positive, got %d", c.NumPages)
+	}
+	if c.FastPages < 0 {
+		return fmt.Errorf("mem: FastPages must be non-negative, got %d", c.FastPages)
+	}
+	if c.PageBytes != RegularPageBytes && c.PageBytes != HugePageBytes {
+		return fmt.Errorf("mem: PageBytes must be 4KiB or 2MiB, got %d", c.PageBytes)
+	}
+	return nil
+}
+
+// Errors returned by migration operations.
+var (
+	// ErrFastFull reports that a promotion could not find free fast-tier
+	// space. Policies respond by demoting first (watermarks) or skipping.
+	ErrFastFull = errors.New("mem: fast tier full")
+	// ErrBadPage reports a page id outside the configured space.
+	ErrBadPage = errors.New("mem: page id out of range")
+)
+
+// Stats counts migrations and placement events.
+type Stats struct {
+	Promotions   uint64
+	Demotions    uint64
+	FastAllocs   uint64
+	SlowAllocs   uint64
+	FailedPromos uint64
+}
+
+// Memory is a two-tier page placement model. It is not safe for concurrent
+// use; the concurrent runtime in internal/core serializes access.
+type Memory struct {
+	cfg       Config
+	tier      []Tier
+	allocated []bool
+	fastUsed  int
+	allocs    int
+	stats     Stats
+}
+
+// New creates a Memory from cfg.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Memory{
+		cfg:       cfg,
+		tier:      make([]Tier, cfg.NumPages),
+		allocated: make([]bool, cfg.NumPages),
+	}, nil
+}
+
+// MustNew is New that panics on error; for tests and static configs.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the instance configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// NumPages returns the page-space size.
+func (m *Memory) NumPages() int { return m.cfg.NumPages }
+
+// FastCap returns the fast-tier capacity in pages.
+func (m *Memory) FastCap() int { return m.cfg.FastPages }
+
+// FastUsed returns the number of pages currently resident in the fast tier.
+func (m *Memory) FastUsed() int { return m.fastUsed }
+
+// FastFree returns the free fast-tier capacity in pages.
+func (m *Memory) FastFree() int {
+	if m.cfg.Alloc == AllocFast {
+		return m.cfg.NumPages // capacity is unbounded in the upper-bound model
+	}
+	return m.cfg.FastPages - m.fastUsed
+}
+
+// Allocated reports how many pages have been touched at least once.
+func (m *Memory) Allocated() int { return m.allocs }
+
+// Stats returns a copy of the migration statistics.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// Touch records an access to page p, allocating it on first touch according
+// to the AllocMode. It returns the tier serving the access.
+func (m *Memory) Touch(p PageID) (Tier, error) {
+	if int(p) >= m.cfg.NumPages {
+		return Slow, ErrBadPage
+	}
+	if !m.allocated[p] {
+		m.allocated[p] = true
+		m.allocs++
+		switch m.cfg.Alloc {
+		case AllocFast:
+			m.tier[p] = Fast
+			m.fastUsed++
+			m.stats.FastAllocs++
+		case AllocFastFirst:
+			if m.fastUsed < m.cfg.FastPages {
+				m.tier[p] = Fast
+				m.fastUsed++
+				m.stats.FastAllocs++
+			} else {
+				m.tier[p] = Slow
+				m.stats.SlowAllocs++
+			}
+		default: // AllocSlow
+			m.tier[p] = Slow
+			m.stats.SlowAllocs++
+		}
+	}
+	return m.tier[p], nil
+}
+
+// TierOf returns the current tier of p without allocating. Untouched pages
+// report Slow (they would fault in wherever the AllocMode dictates, but a
+// policy asking about an untouched page treats it as not-fast).
+func (m *Memory) TierOf(p PageID) Tier {
+	if int(p) >= m.cfg.NumPages || !m.allocated[p] {
+		return Slow
+	}
+	return m.tier[p]
+}
+
+// IsAllocated reports whether p has been touched.
+func (m *Memory) IsAllocated(p PageID) bool {
+	return int(p) < m.cfg.NumPages && m.allocated[p]
+}
+
+// Promote moves p to the fast tier. Promoting an already-fast page is a
+// no-op. Untouched pages are allocated directly into the fast tier (the
+// paper promotes on sampled addresses, which are touched by definition, but
+// policies replayed on traces may race with allocation).
+func (m *Memory) Promote(p PageID) error {
+	if int(p) >= m.cfg.NumPages {
+		return ErrBadPage
+	}
+	if m.allocated[p] && m.tier[p] == Fast {
+		return nil
+	}
+	if m.cfg.Alloc != AllocFast && m.fastUsed >= m.cfg.FastPages {
+		m.stats.FailedPromos++
+		return ErrFastFull
+	}
+	if !m.allocated[p] {
+		m.allocated[p] = true
+		m.allocs++
+	}
+	m.tier[p] = Fast
+	m.fastUsed++
+	m.stats.Promotions++
+	return nil
+}
+
+// Demote moves p to the slow tier. Demoting a slow or untouched page is a
+// no-op.
+func (m *Memory) Demote(p PageID) error {
+	if int(p) >= m.cfg.NumPages {
+		return ErrBadPage
+	}
+	if !m.allocated[p] || m.tier[p] == Slow {
+		return nil
+	}
+	m.tier[p] = Slow
+	m.fastUsed--
+	m.stats.Demotions++
+	return nil
+}
+
+// ScanFast calls fn for each allocated fast-tier page in address order —
+// the linear virtual-address-space scan HybridTier performs via
+// /proc/PID/maps and /proc/PID/pagemaps (§4.3). fn returning false stops
+// the scan early. It returns the number of pages visited.
+func (m *Memory) ScanFast(fn func(PageID) bool) int {
+	return m.ScanFastFrom(0, fn)
+}
+
+// ScanFastFrom is ScanFast starting at page start and wrapping around the
+// address space, so repeated partial scans (kernel-style resumable walks)
+// treat all regions fairly instead of revisiting the lowest addresses.
+func (m *Memory) ScanFastFrom(start PageID, fn func(PageID) bool) int {
+	n := len(m.tier)
+	if n == 0 {
+		return 0
+	}
+	visited := 0
+	s := int(start) % n
+	for k := 0; k < n; k++ {
+		i := s + k
+		if i >= n {
+			i -= n
+		}
+		if !m.allocated[i] || m.tier[i] != Fast {
+			continue
+		}
+		visited++
+		if !fn(PageID(i)) {
+			break
+		}
+	}
+	return visited
+}
+
+// CheckInvariants verifies internal consistency; tests call it after
+// randomized operation sequences.
+func (m *Memory) CheckInvariants() error {
+	fast := 0
+	allocs := 0
+	for i := range m.tier {
+		if m.allocated[i] {
+			allocs++
+			if m.tier[i] == Fast {
+				fast++
+			}
+		}
+	}
+	if fast != m.fastUsed {
+		return fmt.Errorf("mem: fastUsed=%d but %d fast pages found", m.fastUsed, fast)
+	}
+	if allocs != m.allocs {
+		return fmt.Errorf("mem: allocs=%d but %d allocated pages found", m.allocs, allocs)
+	}
+	if m.cfg.Alloc != AllocFast && fast > m.cfg.FastPages {
+		return fmt.Errorf("mem: fast tier over capacity: %d > %d", fast, m.cfg.FastPages)
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func testCfg() Config {
+	return Config{NumPages: 100, FastPages: 10, PageBytes: RegularPageBytes, Alloc: AllocFastFirst}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{NumPages: 0, FastPages: 1, PageBytes: RegularPageBytes},
+		{NumPages: 10, FastPages: -1, PageBytes: RegularPageBytes},
+		{NumPages: 10, FastPages: 1, PageBytes: 1234},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", c)
+		}
+	}
+	if _, err := New(bad[0]); err == nil {
+		t.Error("New must propagate validation errors")
+	}
+}
+
+func TestFirstTouchFastFirst(t *testing.T) {
+	m := MustNew(testCfg())
+	// First 10 touches land fast, the rest slow.
+	for i := 0; i < 20; i++ {
+		tier, err := m.Touch(PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Fast
+		if i >= 10 {
+			want = Slow
+		}
+		if tier != want {
+			t.Errorf("page %d allocated to %v, want %v", i, tier, want)
+		}
+	}
+	if m.FastUsed() != 10 || m.FastFree() != 0 {
+		t.Errorf("FastUsed=%d FastFree=%d", m.FastUsed(), m.FastFree())
+	}
+	st := m.Stats()
+	if st.FastAllocs != 10 || st.SlowAllocs != 10 {
+		t.Errorf("alloc stats = %+v", st)
+	}
+}
+
+func TestAllocSlow(t *testing.T) {
+	cfg := testCfg()
+	cfg.Alloc = AllocSlow
+	m := MustNew(cfg)
+	tier, _ := m.Touch(3)
+	if tier != Slow {
+		t.Error("AllocSlow must place first touches in slow tier")
+	}
+	if m.FastUsed() != 0 {
+		t.Error("fast tier should be empty")
+	}
+}
+
+func TestAllocFastUnbounded(t *testing.T) {
+	cfg := testCfg()
+	cfg.Alloc = AllocFast
+	cfg.FastPages = 1
+	m := MustNew(cfg)
+	for i := 0; i < 50; i++ {
+		tier, _ := m.Touch(PageID(i))
+		if tier != Fast {
+			t.Fatal("AllocFast must place everything fast")
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatTouchKeepsTier(t *testing.T) {
+	m := MustNew(testCfg())
+	m.Touch(5)
+	m.Demote(5)
+	tier, _ := m.Touch(5)
+	if tier != Slow {
+		t.Error("repeat touch must not reallocate")
+	}
+	if m.Allocated() != 1 {
+		t.Errorf("Allocated = %d, want 1", m.Allocated())
+	}
+}
+
+func TestPromoteDemote(t *testing.T) {
+	cfg := testCfg()
+	cfg.Alloc = AllocSlow
+	m := MustNew(cfg)
+	m.Touch(1)
+	if err := m.Promote(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.TierOf(1) != Fast || m.FastUsed() != 1 {
+		t.Error("promotion did not move the page")
+	}
+	// Promote again: idempotent, not double-counted.
+	if err := m.Promote(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.FastUsed() != 1 || m.Stats().Promotions != 1 {
+		t.Error("re-promotion must be a no-op")
+	}
+	if err := m.Demote(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.TierOf(1) != Slow || m.FastUsed() != 0 {
+		t.Error("demotion did not move the page")
+	}
+	// Demote again: no-op.
+	if err := m.Demote(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Demotions != 1 {
+		t.Error("re-demotion must be a no-op")
+	}
+}
+
+func TestPromoteFullFastTier(t *testing.T) {
+	cfg := testCfg()
+	cfg.Alloc = AllocSlow
+	cfg.FastPages = 2
+	m := MustNew(cfg)
+	for i := PageID(0); i < 3; i++ {
+		m.Touch(i)
+	}
+	m.Promote(0)
+	m.Promote(1)
+	err := m.Promote(2)
+	if !errors.Is(err, ErrFastFull) {
+		t.Fatalf("promotion into full tier: err = %v, want ErrFastFull", err)
+	}
+	if m.Stats().FailedPromos != 1 {
+		t.Error("failed promotion must be counted")
+	}
+	// Demote one, retry.
+	m.Demote(0)
+	if err := m.Promote(2); err != nil {
+		t.Fatalf("promotion after demotion failed: %v", err)
+	}
+}
+
+func TestPromoteAllocatesUntouched(t *testing.T) {
+	m := MustNew(testCfg())
+	if err := m.Promote(42); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsAllocated(42) || m.TierOf(42) != Fast {
+		t.Error("promoting an untouched page must allocate it fast")
+	}
+}
+
+func TestBadPage(t *testing.T) {
+	m := MustNew(testCfg())
+	if _, err := m.Touch(1000); !errors.Is(err, ErrBadPage) {
+		t.Error("Touch out of range must fail")
+	}
+	if err := m.Promote(1000); !errors.Is(err, ErrBadPage) {
+		t.Error("Promote out of range must fail")
+	}
+	if err := m.Demote(1000); !errors.Is(err, ErrBadPage) {
+		t.Error("Demote out of range must fail")
+	}
+	if m.TierOf(1000) != Slow {
+		t.Error("TierOf out of range should report Slow")
+	}
+}
+
+func TestScanFastOrder(t *testing.T) {
+	cfg := testCfg()
+	cfg.Alloc = AllocSlow
+	m := MustNew(cfg)
+	for _, p := range []PageID{30, 10, 20} {
+		m.Touch(p)
+		m.Promote(p)
+	}
+	var got []PageID
+	n := m.ScanFast(func(p PageID) bool {
+		got = append(got, p)
+		return true
+	})
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("scan visited %d pages", n)
+	}
+	// Address order, as a pagemap walk would produce.
+	if got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Errorf("scan order = %v, want [10 20 30]", got)
+	}
+	// Early stop.
+	n = m.ScanFast(func(PageID) bool { return false })
+	if n != 1 {
+		t.Errorf("early-stopped scan visited %d, want 1", n)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if Fast.String() != "fast" || Slow.String() != "slow" {
+		t.Error("Tier.String mismatch")
+	}
+}
+
+// Property: after any operation sequence, internal invariants hold.
+func TestRandomOpsInvariants(t *testing.T) {
+	f := func(seed uint64, ops []uint16) bool {
+		cfg := Config{NumPages: 64, FastPages: 8, PageBytes: RegularPageBytes, Alloc: AllocFastFirst}
+		m := MustNew(cfg)
+		rng := xrand.New(seed)
+		for _, op := range ops {
+			p := PageID(op % 64)
+			switch rng.Uint64n(3) {
+			case 0:
+				m.Touch(p)
+			case 1:
+				m.Promote(p) // may fail with ErrFastFull; fine
+			case 2:
+				m.Demote(p)
+			}
+		}
+		return m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyModelOrdering(t *testing.T) {
+	l := DefaultLatency()
+	if l.AccessNs(Fast, 0) >= l.AccessNs(Slow, 0) {
+		t.Error("slow tier must be slower at idle")
+	}
+	// Figure 1: CXL adds 50-100ns over local DRAM at idle.
+	gap := l.AccessNs(Slow, 0) - l.AccessNs(Fast, 0)
+	if gap < 30 || gap > 120 {
+		t.Errorf("idle latency gap = %v ns, want within CXL envelope", gap)
+	}
+	// Contention raises latency monotonically.
+	if l.AccessNs(Slow, 0.5) <= l.AccessNs(Slow, 0.1) {
+		t.Error("higher utilization must raise latency")
+	}
+	// Saturation is capped.
+	if l.AccessNs(Slow, 1.5) > l.SlowNs*l.MaxQueue+1 {
+		t.Error("queueing multiplier must be capped")
+	}
+}
+
+func TestLatencyBandwidth(t *testing.T) {
+	l := DefaultLatency()
+	if l.Bandwidth(Fast) <= l.Bandwidth(Slow) {
+		t.Error("fast tier must have more bandwidth")
+	}
+	if l.Bandwidth(Slow) != 34 {
+		t.Errorf("slow bandwidth = %v GB/s, want 34 (§5.1)", l.Bandwidth(Slow))
+	}
+}
+
+func TestMigrationCost(t *testing.T) {
+	mm := DefaultMigration()
+	lat := DefaultLatency()
+	zero := mm.CostNs(0, RegularPageBytes, lat)
+	if zero != 0 {
+		t.Errorf("zero-page batch cost = %v, want 0", zero)
+	}
+	one := mm.CostNs(1, RegularPageBytes, lat)
+	ten := mm.CostNs(10, RegularPageBytes, lat)
+	if one <= 0 || ten <= one {
+		t.Error("cost must grow with batch size")
+	}
+	// Batching amortizes the fixed overhead: 10 pages in one batch cost
+	// less than 10 single-page batches.
+	if ten >= 10*one {
+		t.Errorf("batching must amortize: batch10=%v single×10=%v", ten, 10*one)
+	}
+	// Huge pages cost more per page (more bytes to copy).
+	huge := mm.CostNs(1, HugePageBytes, lat)
+	if huge <= one {
+		t.Error("2MB migration must cost more than 4KB")
+	}
+}

@@ -1,0 +1,145 @@
+// Package pebs simulates hardware event-based memory-access sampling
+// (Intel PEBS / AMD IBS). Real PEBS delivers, at a configured period, a
+// buffer of records each holding the virtual address of a sampled load or
+// store; tiering runtimes drain that buffer in batches (Algorithm 1 in the
+// paper). This package reproduces the interface contract exactly — a
+// subsampled address stream with a bounded buffer that drops records under
+// overload — so policies written against it behave as they would against
+// the hardware facility.
+package pebs
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Sample is one sampled memory access.
+type Sample struct {
+	// Page is the accessed virtual page.
+	Page mem.PageID
+	// Tier is where the access was served from, mirroring PEBS data-source
+	// encoding (local DRAM vs CXL), which Memtis-style systems use.
+	Tier mem.Tier
+	// Time is the virtual time of the access in nanoseconds.
+	Time int64
+	// Write reports stores (sampled via a separate counter on real HW).
+	Write bool
+}
+
+// Config controls the sampler.
+type Config struct {
+	// Period is the sampling period: one sample is taken every Period
+	// accesses. Real deployments use periods in the hundreds to thousands
+	// to bound overhead; the default mirrors that scaled to simulated
+	// footprints.
+	Period int
+	// BufferSize is the capacity of the sample ring buffer. When the
+	// consumer falls behind, new samples are dropped (as the hardware
+	// does), and the drop is counted.
+	BufferSize int
+}
+
+// DefaultConfig returns a sampling setup proportionate to the simulator's
+// scaled-down footprints.
+func DefaultConfig() Config {
+	return Config{Period: 13, BufferSize: 1 << 16}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("pebs: Period must be positive, got %d", c.Period)
+	}
+	if c.BufferSize <= 0 {
+		return fmt.Errorf("pebs: BufferSize must be positive, got %d", c.BufferSize)
+	}
+	return nil
+}
+
+// Stats counts sampler activity.
+type Stats struct {
+	Accesses uint64
+	Sampled  uint64
+	Dropped  uint64
+	Drained  uint64
+}
+
+// Sampler subsamples an access stream into a bounded ring buffer.
+// It is not safe for concurrent use.
+type Sampler struct {
+	cfg   Config
+	count int
+	ring  []Sample
+	head  int // next write
+	tail  int // next read
+	size  int
+	stats Stats
+}
+
+// New creates a Sampler. It panics on invalid configuration, as samplers
+// are constructed from validated configs.
+func New(cfg Config) (*Sampler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sampler{cfg: cfg, ring: make([]Sample, cfg.BufferSize)}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Sampler {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the sampler configuration.
+func (s *Sampler) Config() Config { return s.cfg }
+
+// Observe feeds one access into the sampler. Every Period-th access is
+// recorded; records are dropped when the ring is full.
+func (s *Sampler) Observe(page mem.PageID, tier mem.Tier, now int64, write bool) {
+	s.stats.Accesses++
+	s.count++
+	if s.count < s.cfg.Period {
+		return
+	}
+	s.count = 0
+	s.stats.Sampled++
+	if s.size == len(s.ring) {
+		s.stats.Dropped++
+		return
+	}
+	s.ring[s.head] = Sample{Page: page, Tier: tier, Time: now, Write: write}
+	s.head = (s.head + 1) % len(s.ring)
+	s.size++
+}
+
+// Pending returns the number of buffered samples.
+func (s *Sampler) Pending() int { return s.size }
+
+// Drain moves up to max buffered samples into dst (appending) and returns
+// the extended slice. max <= 0 drains everything.
+func (s *Sampler) Drain(dst []Sample, max int) []Sample {
+	n := s.size
+	if max > 0 && max < n {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, s.ring[s.tail])
+		s.tail = (s.tail + 1) % len(s.ring)
+	}
+	s.size -= n
+	s.stats.Drained += uint64(n)
+	return dst
+}
+
+// Stats returns a copy of the sampler statistics.
+func (s *Sampler) Stats() Stats { return s.stats }
+
+// Reset clears buffered samples and the period phase but keeps statistics.
+func (s *Sampler) Reset() {
+	s.head, s.tail, s.size, s.count = 0, 0, 0, 0
+}

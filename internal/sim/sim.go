@@ -1,0 +1,415 @@
+// Package sim is the discrete-event driver that connects a workload's
+// access stream to a tiering policy over the tiered-memory model: the
+// simulated analogue of §5.1's evaluation platform. It advances a virtual
+// nanosecond clock by the latency of every operation, feeds the PEBS
+// sampler, delivers hint faults to fault-driven policies, charges migration
+// and metadata costs, models bandwidth contention between application
+// traffic and migrations, and produces the latency/throughput metrics and
+// time series the paper's figures report.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/mem"
+	"repro/internal/pebs"
+	"repro/internal/stats"
+	"repro/internal/tier"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Workload produces the access stream.
+	Workload trace.Source
+	// Policy is the tiering system under test.
+	Policy tier.Policy
+	// FastPages is the fast-tier capacity. The slow tier holds the rest of
+	// the workload's page space.
+	FastPages int
+	// PageBytes is the page size (4 KB regular / 2 MB huge).
+	PageBytes int64
+	// Alloc is the first-touch placement (§5.2: ARC/TwoQ use AllocSlow;
+	// the all-fast bound uses AllocFast).
+	Alloc mem.AllocMode
+	// Latency and Migration price accesses and page moves.
+	Latency   mem.LatencyModel
+	Migration mem.MigrationModel
+	// Pebs configures hardware-style sampling.
+	Pebs pebs.Config
+	// Ops is the number of operations to run.
+	Ops int64
+	// TickNs is the policy tick period in virtual ns (cooling scans,
+	// watermark checks, AutoNUMA address-space scans).
+	TickNs int64
+	// WindowNs is the latency time-series window.
+	WindowNs int64
+	// BatchDrain delivers samples to the policy once this many are
+	// buffered (Algorithm 1's drain loop).
+	BatchDrain int
+	// AppCacheModel routes application accesses through the cache
+	// hierarchy too, enabling the Fig. 5/13 miss-fraction measurements.
+	// It roughly doubles run time, so performance experiments leave it off.
+	AppCacheModel bool
+	// MetaCacheModel routes tiering-metadata touches through the cache
+	// hierarchy (needed for tiering cache-interference costs).
+	MetaCacheModel bool
+	// TrafficScale converts one simulated access into bytes of memory
+	// traffic, modeling the 16-thread × memory-level-parallelism traffic
+	// of the real machine for bandwidth-utilization purposes.
+	TrafficScale float64
+	// FaultCostNs is the application-visible cost of one hint fault
+	// (recency-based systems take these on their critical path).
+	FaultCostNs float64
+	// LLCMissPenaltyNs is the interference each tiering-side LLC miss adds
+	// to application time (shared-cache and membandwidth contention,
+	// Observation 3).
+	LLCMissPenaltyNs float64
+	// TieringInterference is the fraction of tiering-thread work (cooling
+	// sweeps, page scans, migrations) that surfaces as application
+	// slowdown through shared CPU, cache, and bandwidth resources. The
+	// accrued interference drains gradually, capped per op.
+	TieringInterference float64
+	// LatHistMaxNs bounds the op-latency histogram.
+	LatHistMaxNs int64
+	// Seed drives the simulator's internal randomness (address offsets).
+	Seed uint64
+}
+
+// DefaultConfig returns simulation parameters for a workload and policy at
+// the given fast-tier capacity.
+func DefaultConfig(w trace.Source, p tier.Policy, fastPages int) Config {
+	return Config{
+		Workload:            w,
+		Policy:              p,
+		FastPages:           fastPages,
+		PageBytes:           mem.RegularPageBytes,
+		Alloc:               mem.AllocFastFirst,
+		Latency:             mem.DefaultLatency(),
+		Migration:           mem.DefaultMigration(),
+		Pebs:                pebs.DefaultConfig(),
+		Ops:                 2_000_000,
+		TickNs:              10_000_000,  // 10 virtual ms
+		WindowNs:            100_000_000, // 100 virtual ms
+		BatchDrain:          256,
+		MetaCacheModel:      true,
+		TrafficScale:        2048, // 16 threads × deep MLP: ~20 GB/s at 10M accesses/s
+		FaultCostNs:         1000,
+		LLCMissPenaltyNs:    60,
+		TieringInterference: 0.2,
+		LatHistMaxNs:        50_000,
+		Seed:                1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Workload == nil || c.Policy == nil {
+		return fmt.Errorf("sim: Workload and Policy are required")
+	}
+	if c.Ops <= 0 {
+		return fmt.Errorf("sim: Ops must be positive, got %d", c.Ops)
+	}
+	if c.TickNs <= 0 || c.WindowNs <= 0 {
+		return fmt.Errorf("sim: TickNs and WindowNs must be positive")
+	}
+	if c.BatchDrain <= 0 {
+		return fmt.Errorf("sim: BatchDrain must be positive")
+	}
+	if c.TrafficScale <= 0 {
+		return fmt.Errorf("sim: TrafficScale must be positive")
+	}
+	return nil
+}
+
+// Result carries everything the experiment harness reports.
+type Result struct {
+	Workload string
+	Policy   string
+
+	Ops       int64
+	ElapsedNs int64
+	// MedianLatNs / MeanLatNs / P99LatNs summarize per-op latency.
+	MedianLatNs int64
+	MeanLatNs   float64
+	P99LatNs    int64
+	// ThroughputMops is operations per virtual second, in millions.
+	ThroughputMops float64
+	// Series is the windowed median-latency time series (Fig. 4).
+	Series []stats.SeriesPoint
+	// SlowSeries tracks the per-window share of accesses served from the
+	// slow tier, in tenths of a percent (Mean field; 1000 = all slow).
+	// It is the noise-free placement-quality signal behind the latency
+	// curves, used for adaptation-time measurement.
+	SlowSeries []stats.SeriesPoint
+	// ShiftNs is the virtual time of the workload's distribution change
+	// (-1 when none fired).
+	ShiftNs int64
+
+	// TieringBusyNs is CPU time the tiering thread consumed.
+	TieringBusyNs float64
+	// MetadataBytes is the policy's final metadata footprint.
+	MetadataBytes int64
+	// Faults is the number of hint faults delivered.
+	Faults uint64
+
+	Mem  mem.Stats
+	Pebs pebs.Stats
+	// L1 / LLC are cache statistics (only meaningful when the cache models
+	// are enabled).
+	L1, LLC cachesim.Stats
+	// FastFinal is the fast-tier occupancy at the end of the run.
+	FastFinal int
+}
+
+// env implements tier.Env for a run.
+type env struct {
+	s *simulator
+}
+
+func (e *env) Mem() *mem.Memory { return e.s.memory }
+func (e *env) Now() int64       { return e.s.now }
+
+func (e *env) Promote(p mem.PageID) error {
+	before := e.s.memory.Stats().Promotions
+	err := e.s.memory.Promote(p)
+	if err == nil && e.s.memory.Stats().Promotions != before {
+		e.s.chargeMigration(1)
+	}
+	return err
+}
+
+func (e *env) Demote(p mem.PageID) error {
+	before := e.s.memory.Stats().Demotions
+	err := e.s.memory.Demote(p)
+	if err == nil && e.s.memory.Stats().Demotions != before {
+		e.s.chargeMigration(1)
+	}
+	return err
+}
+
+func (e *env) Charge(ns float64) {
+	e.s.tieringBusy += ns
+	e.s.interference += ns * e.s.cfg.TieringInterference
+}
+
+func (e *env) TouchMeta(off int64) {
+	if !e.s.cfg.MetaCacheModel {
+		return
+	}
+	l1Hit, llcHit := e.s.cache.Access(e.s.metaBase+off, cachesim.Tiering)
+	if !l1Hit && !llcHit {
+		e.s.interference += e.s.cfg.LLCMissPenaltyNs
+	}
+	e.s.tieringBusy += 2 // the metadata op itself
+}
+
+func (e *env) LastAccess(p mem.PageID) int64 { return e.s.lastAccess[p] }
+
+// simulator is the mutable run state.
+type simulator struct {
+	cfg    Config
+	memory *mem.Memory
+	smplr  *pebs.Sampler
+	cache  *cachesim.Hierarchy
+	rng    *xrand.RNG
+
+	now          int64
+	tieringBusy  float64
+	interference float64 // pending app-visible interference ns
+	lastAccess   []int64
+	metaBase     int64
+
+	// bandwidth accounting per tier for the current utilization window
+	winBytes [2]float64
+	winStart int64
+	util     [2]float64
+
+	faults uint64
+}
+
+// chargeMigration accounts one page move: tiering-thread time plus slow-
+// tier bandwidth consumption (one side of every move is CXL memory).
+func (s *simulator) chargeMigration(pages int) {
+	ns := s.cfg.Migration.CostNs(pages, s.cfg.PageBytes, s.cfg.Latency)
+	s.tieringBusy += ns
+	s.interference += ns * s.cfg.TieringInterference
+	s.winBytes[mem.Slow] += float64(s.cfg.PageBytes) * float64(pages)
+}
+
+// updateUtilization recomputes per-tier bandwidth utilization from the
+// bytes moved in the window just ended.
+func (s *simulator) updateUtilization() {
+	dt := float64(s.now - s.winStart)
+	if dt <= 0 {
+		return
+	}
+	for t := 0; t < 2; t++ {
+		bw := s.cfg.Latency.Bandwidth(mem.Tier(t))
+		u := s.winBytes[t] / (bw * dt)
+		if u > 1 {
+			u = 1
+		}
+		// Exponential smoothing keeps utilization from oscillating at
+		// window boundaries.
+		s.util[t] = 0.5*s.util[t] + 0.5*u
+		s.winBytes[t] = 0
+	}
+	s.winStart = s.now
+}
+
+// Run executes the simulation and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Workloads address 4 KB pages; at 2 MB granularity (§4.4) the
+	// simulator coalesces 512 consecutive small pages into one huge page,
+	// which is exactly what THP-backed tracking and migration see.
+	pageShift := uint(0)
+	if cfg.PageBytes == mem.HugePageBytes {
+		pageShift = 9
+	}
+	numPages := ((cfg.Workload.NumPages() - 1) >> pageShift) + 1
+	memory, err := mem.New(mem.Config{
+		NumPages:  numPages,
+		FastPages: cfg.FastPages,
+		PageBytes: cfg.PageBytes,
+		Alloc:     cfg.Alloc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	smplr, err := pebs.New(cfg.Pebs)
+	if err != nil {
+		return nil, err
+	}
+	s := &simulator{
+		cfg:        cfg,
+		memory:     memory,
+		smplr:      smplr,
+		cache:      cachesim.NewDefault(),
+		rng:        xrand.New(cfg.Seed),
+		lastAccess: make([]int64, numPages),
+		// Metadata lives far from application data in the modeled address
+		// space so the two contend only through cache capacity.
+		metaBase: int64(numPages)*cfg.PageBytes + (1 << 40),
+	}
+	e := &env{s: s}
+	cfg.Policy.Attach(e)
+	faultPolicy, _ := cfg.Policy.(tier.FaultDriven)
+
+	latHist := stats.NewHistogram(0, cfg.LatHistMaxNs, 8192)
+	series := stats.NewTimeSeries(cfg.WindowNs, 0, cfg.LatHistMaxNs, 4096)
+	slowSeries := stats.NewTimeSeries(cfg.WindowNs, 0, 1001, 2)
+	batch := make([]tier.Sample, 0, cfg.BatchDrain*2)
+	var buf []trace.Access
+	nextTick := cfg.TickNs
+
+	for op := int64(0); op < cfg.Ops; op++ {
+		buf = cfg.Workload.NextOp(buf[:0])
+		opLat := 0.0
+		for _, a := range buf {
+			page := a.Page >> pageShift
+			t, err := memory.Touch(page)
+			if err != nil {
+				return nil, fmt.Errorf("sim: workload %q touched bad page %d: %w",
+					cfg.Workload.Name(), a.Page, err)
+			}
+			opLat += cfg.Latency.AccessNs(t, s.util[t])
+			s.lastAccess[page] = s.now
+			s.winBytes[t] += cfg.TrafficScale
+			if t == mem.Slow {
+				slowSeries.Observe(s.now, 1000)
+			} else {
+				slowSeries.Observe(s.now, 0)
+			}
+
+			if faultPolicy != nil && faultPolicy.WantsFault(page) {
+				faultPolicy.OnFault(page, t)
+				s.faults++
+				opLat += cfg.FaultCostNs
+			}
+			smplr.Observe(page, t, s.now, a.Write)
+			if cfg.AppCacheModel {
+				// Within-page line offset: hash-derived so hot pages span
+				// multiple lines, as real objects do. Use the 4 KB page id
+				// so cache behaviour is granularity-independent.
+				off := int64(xrand.Hash64(uint64(a.Page)^uint64(op)) & 0xfc0)
+				s.cache.Access(int64(a.Page)*mem.RegularPageBytes+off, cachesim.App)
+			}
+		}
+		// Interference from tiering work drains into application time at a
+		// bounded per-op rate, modeling shared-resource contention without
+		// attributing a whole cooling sweep to a single unlucky op.
+		if s.interference > 0 {
+			take := opLat * 0.5
+			if take > s.interference {
+				take = s.interference
+			}
+			opLat += take
+			s.interference -= take
+		}
+		s.now += int64(opLat)
+		latHist.Observe(int64(opLat))
+		series.Observe(s.now, int64(opLat))
+
+		if smplr.Pending() >= cfg.BatchDrain {
+			batch = smplr.Drain(batch[:0], 0)
+			cfg.Policy.OnSamples(batch)
+		}
+		for s.now >= nextTick {
+			cfg.Policy.Tick()
+			cfg.Workload.AdvanceTime(s.now)
+			s.updateUtilization()
+			nextTick += cfg.TickNs
+		}
+	}
+
+	res := &Result{
+		Workload:       cfg.Workload.Name(),
+		Policy:         cfg.Policy.Name(),
+		Ops:            cfg.Ops,
+		ElapsedNs:      s.now,
+		MedianLatNs:    latHist.Median(),
+		MeanLatNs:      latHist.Mean(),
+		P99LatNs:       latHist.Quantile(0.99),
+		ThroughputMops: float64(cfg.Ops) / float64(s.now) * 1e3,
+		Series:         series.Points(),
+		SlowSeries:     slowSeries.Points(),
+		ShiftNs:        -1,
+		TieringBusyNs:  s.tieringBusy,
+		MetadataBytes:  cfg.Policy.MetadataBytes(),
+		Faults:         s.faults,
+		Mem:            memory.Stats(),
+		Pebs:           smplr.Stats(),
+		L1:             s.cache.L1(),
+		LLC:            s.cache.LLC(),
+		FastFinal:      memory.FastUsed(),
+	}
+	if ss, ok := cfg.Workload.(trace.ShiftSource); ok {
+		res.ShiftNs = ss.ShiftTime()
+	}
+	return res, nil
+}
+
+// AdaptationNs measures how long the run took to return to within tol of
+// the steady-state latency after the workload's distribution shift
+// (Table 3's metric). It uses the windowed mean latency: the shift displaces
+// the slow-tier tail of the distribution, which the mean tracks directly.
+// steadyWindows is how many trailing windows define steady state. The
+// boolean is false when no shift fired or the run never converged.
+func (r *Result) AdaptationNs(steadyWindows int, tol float64) (int64, bool) {
+	if r.ShiftNs < 0 {
+		return 0, false
+	}
+	smoothed := stats.Smooth(r.SlowSeries, 3)
+	steady := stats.MeanSteadyState(smoothed, steadyWindows)
+	at, ok := stats.MeanAdaptTime(smoothed, r.ShiftNs, steady, tol)
+	if !ok {
+		return 0, false
+	}
+	return at - r.ShiftNs, true
+}

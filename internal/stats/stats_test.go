@@ -1,0 +1,315 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{2, 8}, 4},
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{3}, 3},
+		{[]float64{-1, 0}, 0},      // non-positive skipped
+		{[]float64{-1, 4, 16}, 8},  // negatives skipped
+		{[]float64{10, 1000}, 100}, // two decades
+	}
+	for _, c := range cases {
+		if got := Geomean(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Geomean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Errorf("P0 = %v, want 10", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Errorf("P100 = %v, want 50", got)
+	}
+	if got := Percentile(xs, 50); got != 30 {
+		t.Errorf("P50 = %v, want 30", got)
+	}
+	if got := Percentile(xs, 25); got != 20 {
+		t.Errorf("P25 = %v, want 20", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("P50(nil) = %v, want 0", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 10 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("P50 of {0,10} = %v, want 5", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 1000, 100)
+	for i := int64(0); i < 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-499.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 499.5", got)
+	}
+	med := h.Median()
+	if med < 450 || med > 550 {
+		t.Errorf("Median = %d, want ≈ 500", med)
+	}
+	q9 := h.Quantile(0.9)
+	if q9 < 850 || q9 > 950 {
+		t.Errorf("Q90 = %d, want ≈ 900", q9)
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(100, 200, 10)
+	h.Observe(-50) // underflow clamps to the first bucket
+	h.Observe(500) // overflow clamps to the last bucket
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	// Out-of-range values land in the edge buckets; quantiles stay inside
+	// the observed envelope and remain monotone.
+	q0, q1 := h.Quantile(0), h.Quantile(1)
+	if q0 < -50 || q1 > 500 || q0 > q1 {
+		t.Errorf("quantiles Q0=%d Q1=%d outside observed envelope [-50, 500]", q0, q1)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("Reset did not clear counts")
+	}
+	if h.Median() != 0 {
+		t.Error("Median of empty histogram should be 0")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 10, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: histogram quantiles are monotone in q and bounded by min/max.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram(-40000, 40000, 64)
+		for _, v := range vals {
+			h.Observe(int64(v))
+		}
+		prev := h.Quantile(0)
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEMACooling(t *testing.T) {
+	// Reproduces the Fig. 3a scenario: 50 accesses/min for 10 minutes, then
+	// silence; cooling halves the score every 2 minutes.
+	const minute = int64(60_000_000_000)
+	e := NewEMA(2, 2*minute)
+	for m := int64(0); m < 10; m++ {
+		for i := 0; i < 50; i++ {
+			e.Add(m*minute, 1)
+		}
+	}
+	peak := e.Score(10 * minute)
+	if peak < 50 || peak > 500 {
+		t.Fatalf("peak score = %v, want within (50, 500)", peak)
+	}
+	// After access stops, the score halves every 2 minutes: it lags.
+	s12 := e.Score(12 * minute)
+	s14 := e.Score(14 * minute)
+	if !(s12 < peak && s14 < s12) {
+		t.Errorf("score must decay: peak=%v s12=%v s14=%v", peak, s12, s14)
+	}
+	if math.Abs(s14-s12/2) > 1e-9 {
+		t.Errorf("one cooling period should halve: s12=%v s14=%v", s12, s14)
+	}
+	// The score takes several periods to fall below 10 — the lag the paper
+	// demonstrates.
+	when := int64(0)
+	for m := int64(10); m < 40; m++ {
+		if e.Score(m*minute) < 10 {
+			when = m
+			break
+		}
+	}
+	if when <= 12 {
+		t.Errorf("EMA score dropped below 10 at minute %d; expected lag beyond minute 12", when)
+	}
+}
+
+func TestEMALongGap(t *testing.T) {
+	e := NewEMA(2, 100)
+	e.Add(0, 1000)
+	if s := e.Score(100 * 200); s != 0 {
+		t.Errorf("score after 200 periods = %v, want 0", s)
+	}
+}
+
+func TestEMAPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewEMA(1, 100) },
+		func() { NewEMA(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTimeSeriesWindows(t *testing.T) {
+	ts := NewTimeSeries(100, 0, 1000, 100)
+	// Two windows: values 10 in [0,100), value 50 in [100,200).
+	ts.Observe(0, 10)
+	ts.Observe(50, 10)
+	ts.Observe(120, 50)
+	ts.Observe(180, 50)
+	pts := ts.Points()
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].Time != 0 || pts[0].Count != 2 {
+		t.Errorf("window 0 = %+v", pts[0])
+	}
+	if pts[1].Time != 100 || pts[1].Count != 2 {
+		t.Errorf("window 1 = %+v", pts[1])
+	}
+	if pts[0].Median >= pts[1].Median {
+		t.Errorf("window medians should rise: %d vs %d", pts[0].Median, pts[1].Median)
+	}
+}
+
+func TestTimeSeriesGap(t *testing.T) {
+	ts := NewTimeSeries(10, 0, 100, 10)
+	ts.Observe(0, 1)
+	ts.Observe(95, 2) // long gap: empty windows are skipped, not emitted
+	pts := ts.Points()
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2 (empty windows skipped)", len(pts))
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	pts := []SeriesPoint{{Median: 10}, {Median: 20}, {Median: 30}, {Median: 40}}
+	if got := SteadyState(pts, 2); got != 35 {
+		t.Errorf("SteadyState = %v, want 35", got)
+	}
+	if got := SteadyState(pts, 100); got != 25 {
+		t.Errorf("SteadyState clamps n: got %v, want 25", got)
+	}
+	if got := SteadyState(nil, 3); got != 0 {
+		t.Errorf("SteadyState(nil) = %v, want 0", got)
+	}
+}
+
+func TestAdaptTime(t *testing.T) {
+	// Series: disturbance at t=100 raises medians, converges at t=400.
+	pts := []SeriesPoint{
+		{Time: 0, Median: 100},
+		{Time: 100, Median: 300},
+		{Time: 200, Median: 250},
+		{Time: 300, Median: 150},
+		{Time: 400, Median: 101},
+		{Time: 500, Median: 100},
+		{Time: 600, Median: 100},
+	}
+	got, ok := AdaptTime(pts, 100, 100, 0.01)
+	if !ok || got != 400 {
+		t.Errorf("AdaptTime = %v, %v; want 400, true", got, ok)
+	}
+	// Never converging within tolerance.
+	_, ok = AdaptTime([]SeriesPoint{{Time: 100, Median: 300}}, 0, 100, 0.01)
+	if ok {
+		t.Error("AdaptTime should not converge when the last point is off-steady")
+	}
+	if _, ok := AdaptTime(pts, 100, 0, 0.01); ok {
+		t.Error("AdaptTime with steady=0 must fail")
+	}
+}
+
+func TestCDFBuckets(t *testing.T) {
+	counts := []uint8{0, 0, 1, 3, 4, 6, 7, 9, 10, 12, 13, 14, 15, 15}
+	cdf := CDFBuckets(counts)
+	if cdf[6] != 1.0 {
+		t.Errorf("final cumulative fraction = %v, want 1", cdf[6])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Errorf("CDF must be non-decreasing at %d: %v", i, cdf)
+		}
+	}
+	if got := cdf[0]; math.Abs(got-2.0/14) > 1e-9 {
+		t.Errorf("zero bucket = %v, want 2/14", got)
+	}
+	var empty [7]float64
+	if CDFBuckets(nil) != empty {
+		t.Error("CDFBuckets(nil) should be all-zero")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(10, 5); got != "2.0×" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "n/a" {
+		t.Errorf("Ratio/0 = %q", got)
+	}
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+// ZipfSource emits single-page operations with Zipf-distributed popularity
+// over a page range, optionally remapping ranks through a permutation so
+// different instances (or epochs) hash popularity onto different pages.
+type ZipfSource struct {
+	name  string
+	n     int
+	zipf  *xrand.Zipf
+	perm  []uint64 // rank -> page
+	rng   *xrand.RNG
+	write float64
+}
+
+// NewZipfSource creates a source over n pages with exponent s.
+// writeFrac in [0,1] is the fraction of operations that are stores.
+func NewZipfSource(name string, n int, s float64, writeFrac float64, seed uint64) *ZipfSource {
+	rng := xrand.New(seed)
+	perm := make([]uint64, n)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	rng.ShuffleUint64s(perm)
+	return &ZipfSource{
+		name:  name,
+		n:     n,
+		zipf:  xrand.NewZipf(rng, s, uint64(n)),
+		perm:  perm,
+		rng:   rng,
+		write: writeFrac,
+	}
+}
+
+// Name implements Source.
+func (z *ZipfSource) Name() string { return z.name }
+
+// NumPages implements Source.
+func (z *ZipfSource) NumPages() int { return z.n }
+
+// NextOp implements Source.
+func (z *ZipfSource) NextOp(dst []Access) []Access {
+	rank := z.zipf.Next()
+	w := z.rng.Float64() < z.write
+	return append(dst, Access{Page: mem.PageID(z.perm[rank]), Write: w})
+}
+
+// AdvanceTime implements Source.
+func (z *ZipfSource) AdvanceTime(int64) {}
+
+// Reshuffle remaps which pages are popular, keeping the same skew. frac is
+// the fraction of the permutation to rotate: 2/3 reproduces §2.3.2's
+// "2/3 of previously hot data are no longer hot".
+func (z *ZipfSource) Reshuffle(frac float64) {
+	k := int(frac * float64(z.n))
+	if k <= 1 {
+		return
+	}
+	// Rotate the top-k ranks' page assignments with fresh pages drawn from
+	// the cold tail, so previously-hot pages go cold and cold pages go hot.
+	for i := 0; i < k; i++ {
+		j := k + z.rng.Intn(z.n-k)
+		z.perm[i], z.perm[j] = z.perm[j], z.perm[i]
+	}
+}
+
+// ShiftingZipfSource wraps ZipfSource and performs a single Reshuffle after
+// a fixed number of operations, reproducing the Fig. 4 / Table 3 adaptation
+// scenario (§2.3.2: at a fixed point, 2/3 of previously hot data turn cold).
+// Triggering on operation count keeps the schedule deterministic regardless
+// of the latency model; the virtual time of the shift is recorded when it
+// fires so adaptation time can be measured against it.
+type ShiftingZipfSource struct {
+	*ZipfSource
+	shiftAfter int64 // ops before the shift
+	frac       float64
+	ops        int64
+	shiftedAt  int64
+	lastNow    int64
+	done       bool
+}
+
+// NewShiftingZipfSource creates a Zipf source that rotates frac of its hot
+// set after shiftAfter operations.
+func NewShiftingZipfSource(name string, n int, s, writeFrac float64, seed uint64, shiftAfter int64, frac float64) *ShiftingZipfSource {
+	return &ShiftingZipfSource{
+		ZipfSource: NewZipfSource(name, n, s, writeFrac, seed),
+		shiftAfter: shiftAfter,
+		frac:       frac,
+		shiftedAt:  -1,
+	}
+}
+
+// NextOp implements Source, triggering the shift once the op budget passes.
+func (s *ShiftingZipfSource) NextOp(dst []Access) []Access {
+	s.ops++
+	if !s.done && s.ops >= s.shiftAfter {
+		s.Reshuffle(s.frac)
+		s.shiftedAt = s.lastNow
+		s.done = true
+	}
+	return s.ZipfSource.NextOp(dst)
+}
+
+// AdvanceTime implements Source, tracking the virtual clock so the shift
+// can be timestamped.
+func (s *ShiftingZipfSource) AdvanceTime(now int64) { s.lastNow = now }
+
+// ShiftTime implements ShiftSource. It returns -1 until the shift fires.
+func (s *ShiftingZipfSource) ShiftTime() int64 { return s.shiftedAt }
+
+// ScanSource sweeps the page space sequentially, the one-time-only access
+// pattern §7 discusses (scanning pollutes recency-based systems' fast tier).
+type ScanSource struct {
+	name string
+	n    int
+	pos  uint64
+}
+
+// NewScanSource creates a sequential sweep over n pages.
+func NewScanSource(name string, n int) *ScanSource {
+	return &ScanSource{name: name, n: n}
+}
+
+// Name implements Source.
+func (s *ScanSource) Name() string { return s.name }
+
+// NumPages implements Source.
+func (s *ScanSource) NumPages() int { return s.n }
+
+// NextOp implements Source.
+func (s *ScanSource) NextOp(dst []Access) []Access {
+	p := mem.PageID(s.pos % uint64(s.n))
+	s.pos++
+	return append(dst, Access{Page: p})
+}
+
+// AdvanceTime implements Source.
+func (s *ScanSource) AdvanceTime(int64) {}
+
+// MixSource interleaves two sources with a fixed probability, e.g. a Zipf
+// working set polluted by a background scan.
+type MixSource struct {
+	name string
+	a, b Source
+	pA   float64
+	rng  *xrand.RNG
+	n    int
+}
+
+// NewMixSource draws from a with probability pA, else from b. Both sources
+// must address the same page space size.
+func NewMixSource(name string, a, b Source, pA float64, seed uint64) *MixSource {
+	n := a.NumPages()
+	if b.NumPages() > n {
+		n = b.NumPages()
+	}
+	return &MixSource{name: name, a: a, b: b, pA: pA, rng: xrand.New(seed), n: n}
+}
+
+// Name implements Source.
+func (m *MixSource) Name() string { return m.name }
+
+// NumPages implements Source.
+func (m *MixSource) NumPages() int { return m.n }
+
+// NextOp implements Source.
+func (m *MixSource) NextOp(dst []Access) []Access {
+	if m.rng.Float64() < m.pA {
+		return m.a.NextOp(dst)
+	}
+	return m.b.NextOp(dst)
+}
+
+// AdvanceTime implements Source.
+func (m *MixSource) AdvanceTime(now int64) {
+	m.a.AdvanceTime(now)
+	m.b.AdvanceTime(now)
+}

@@ -1,0 +1,43 @@
+// Package trace defines the access-stream contract between workload
+// generators and the simulator, plus composable synthetic sources used by
+// the motivation experiments (Figures 2 and 3) and tests.
+//
+// A workload is a Source that produces Access records one operation at a
+// time. Operations group related page touches (one cache GET, one vertex
+// expansion, one tree probe); the simulator charges each operation's latency
+// as the sum of its page-access latencies, which is what the paper's
+// "median latency" per cache op measures.
+package trace
+
+import "repro/internal/mem"
+
+// Access is one page touch inside an operation.
+type Access struct {
+	Page  mem.PageID
+	Write bool
+}
+
+// Source produces operations. Implementations are single-threaded.
+type Source interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// NumPages is the dense page-space size the source addresses.
+	NumPages() int
+	// NextOp fills dst with the next operation's page accesses, returning
+	// the extended slice. Implementations recycle dst's backing array.
+	// Sources are infinite: they never report exhaustion.
+	NextOp(dst []Access) []Access
+	// AdvanceTime notifies the source of the simulator's virtual clock so
+	// time-driven behaviour (distribution shifts, round boundaries, TTL
+	// churn) can trigger. now is in virtual nanoseconds.
+	AdvanceTime(now int64)
+}
+
+// ShiftSource is implemented by workloads whose hotness distribution changes
+// at a known virtual time; adaptation experiments (Fig. 4, Table 3) need to
+// know when the change happened.
+type ShiftSource interface {
+	Source
+	// ShiftTime returns the virtual time of the distribution change.
+	ShiftTime() int64
+}

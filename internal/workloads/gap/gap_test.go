@@ -1,0 +1,255 @@
+package gap
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestBuildCSR(t *testing.T) {
+	pairs := [][2]uint32{{0, 1}, {1, 2}, {2, 0}, {3, 3}} // self-loop dropped
+	g := BuildCSR(4, pairs)
+	if g.NumEdges() != 6 {
+		t.Fatalf("NumEdges = %d, want 6 (3 undirected edges)", g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 2 || g.Degree(2) != 2 || g.Degree(3) != 0 {
+		t.Errorf("degrees wrong: %d %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2), g.Degree(3))
+	}
+	n0 := g.Neighbors(0)
+	if len(n0) != 2 || n0[0] != 1 || n0[1] != 2 {
+		t.Errorf("Neighbors(0) = %v, want [1 2] (sorted)", n0)
+	}
+}
+
+func TestCSRSymmetry(t *testing.T) {
+	g := Kronecker(10, 4, 7)
+	// Every edge (u,v) must have a reverse edge (v,u).
+	for u := uint32(0); int(u) < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			found := false
+			for _, w := range g.Neighbors(v) {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) has no reverse", u, v)
+			}
+		}
+	}
+}
+
+func TestKroneckerSkewVsUniform(t *testing.T) {
+	k := Kronecker(12, 8, 1)
+	u := UniformRandom(12, 8, 1)
+	if k.N != 4096 || u.N != 4096 {
+		t.Fatal("wrong vertex count")
+	}
+	// Kronecker must have a much larger maximum degree (hubs).
+	maxDeg := func(g *Graph) int {
+		m := 0
+		for v := uint32(0); int(v) < g.N; v++ {
+			if d := g.Degree(v); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	mk, mu := maxDeg(k), maxDeg(u)
+	if mk < 3*mu {
+		t.Errorf("Kronecker max degree %d not ≫ uniform max degree %d", mk, mu)
+	}
+	// Kronecker also has many isolated vertices; uniform has almost none.
+	isolated := func(g *Graph) int {
+		n := 0
+		for v := uint32(0); int(v) < g.N; v++ {
+			if g.Degree(v) == 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if isolated(k) < isolated(u) {
+		t.Errorf("Kronecker should have more isolated vertices (%d vs %d)",
+			isolated(k), isolated(u))
+	}
+}
+
+func TestLayoutRegionsDisjoint(t *testing.T) {
+	g := UniformRandom(10, 4, 3)
+	l := NewLayout(g)
+	lastV := uint32(g.N - 1)
+	lastE := int64(len(g.Edges) - 1)
+	pages := []struct {
+		name string
+		lo   int64
+		hi   int64
+	}{
+		{"offsets", int64(l.OffsetsPage(0)), int64(l.OffsetsPage(lastV))},
+		{"edges", int64(l.EdgePage(0)), int64(l.EdgePage(lastE))},
+		{"parent", int64(l.ParentPage(0)), int64(l.ParentPage(lastV))},
+		{"label", int64(l.LabelPage(0)), int64(l.LabelPage(lastV))},
+		{"rank", int64(l.RankPage(0)), int64(l.RankPage(lastV))},
+		{"next", int64(l.NextRankPage(0)), int64(l.NextRankPage(lastV))},
+	}
+	for i := 1; i < len(pages); i++ {
+		if pages[i].lo <= pages[i-1].hi {
+			t.Errorf("region %s (start %d) overlaps %s (end %d)",
+				pages[i].name, pages[i].lo, pages[i-1].name, pages[i-1].hi)
+		}
+	}
+	if int(l.NumPages()) <= int(pages[len(pages)-1].hi) {
+		t.Error("NumPages does not cover the last region")
+	}
+}
+
+func TestBFSVisitsComponent(t *testing.T) {
+	src := NewSource(BFS, URand, 10, 8, 5)
+	var buf []trace.Access
+	// Run enough ops to complete at least one full BFS.
+	for i := 0; i < 3000 && src.Trials() < 2; i++ {
+		buf = src.NextOp(buf[:0])
+		for _, a := range buf {
+			if int(a.Page) >= src.NumPages() {
+				t.Fatalf("access outside page space: %d", a.Page)
+			}
+		}
+	}
+	if src.Trials() < 2 {
+		t.Fatal("BFS never completed a traversal")
+	}
+}
+
+func TestBFSRestartsChangeSource(t *testing.T) {
+	// With a uniform graph, different sources reach vertices in different
+	// orders; verify restarts occur and the queue refills.
+	src := NewSource(BFS, URand, 8, 6, 9)
+	var buf []trace.Access
+	start := src.Trials()
+	for i := 0; i < 5000; i++ {
+		buf = src.NextOp(buf[:0])
+	}
+	if src.Trials() == start {
+		t.Error("BFS should restart with new sources over 5000 ops on a 256-vertex graph")
+	}
+}
+
+func TestCCConverges(t *testing.T) {
+	// Build a graph with two known components: 0-1-2 and 3-4.
+	g := BuildCSR(5, [][2]uint32{{0, 1}, {1, 2}, {3, 4}})
+	src := NewSourceFromGraph(CC, g, "cc-test", 1)
+	var buf []trace.Access
+	// Step until a propagation pass completes with no changes (the kernel
+	// restarts — and re-initializes labels — right after, so sample the
+	// labels at the converged instant).
+	converged := false
+	for i := 0; i < 1000 && !converged; i++ {
+		buf = src.NextOp(buf[:0])
+		if !src.ccInit && src.ccCursor >= src.graph.N && !src.ccChanged {
+			converged = true
+		}
+	}
+	if !converged {
+		t.Fatal("CC never converged")
+	}
+	l := src.Labels()
+	if !(l[0] == l[1] && l[1] == l[2]) {
+		t.Errorf("component {0,1,2} labels: %v", l[:3])
+	}
+	if !(l[3] == l[4]) {
+		t.Errorf("component {3,4} labels: %v", l[3:5])
+	}
+	if l[0] == l[3] {
+		t.Error("distinct components must keep distinct labels")
+	}
+}
+
+func TestPRConvergesToDegreeProportional(t *testing.T) {
+	// Star graph: hub 0 connected to 1..4. The hub's rank must exceed any
+	// leaf's after convergence.
+	g := BuildCSR(5, [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	src := NewSourceFromGraph(PR, g, "pr-test", 1)
+	var buf []trace.Access
+	for i := 0; i < 5*9; i++ { // 9 full sweeps of 5 vertices
+		buf = src.NextOp(buf[:0])
+	}
+	r := src.Ranks()
+	if r[0] <= r[1] {
+		t.Errorf("hub rank %v must exceed leaf rank %v", r[0], r[1])
+	}
+	// Ranks approximately sum to 1.
+	sum := 0.0
+	for _, v := range r {
+		sum += v
+	}
+	if sum < 0.5 || sum > 1.5 {
+		t.Errorf("rank sum = %v, want ≈ 1", sum)
+	}
+}
+
+func TestOpAccessCap(t *testing.T) {
+	// Kronecker hubs have huge degree; ops must stay bounded.
+	src := NewSource(PR, Kron, 12, 16, 3)
+	var buf []trace.Access
+	for i := 0; i < 20000; i++ {
+		buf = src.NextOp(buf[:0])
+		if len(buf) > maxAccessesPerOp+4 {
+			t.Fatalf("op emitted %d accesses, cap is %d", len(buf), maxAccessesPerOp)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if BFS.String() != "bfs" || CC.String() != "cc" || PR.String() != "pr" {
+		t.Error("Kind strings wrong")
+	}
+	if Kron.String() != "kron" || URand.String() != "urand" {
+		t.Error("GraphKind strings wrong")
+	}
+	if NewSource(BFS, Kron, 8, 4, 1).Name() != "gap-bfs-kron" {
+		t.Error("source name wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewSource(BFS, Kron, 10, 8, 42)
+	b := NewSource(BFS, Kron, 10, 8, 42)
+	var ba, bb []trace.Access
+	for i := 0; i < 2000; i++ {
+		ba = a.NextOp(ba[:0])
+		bb = b.NextOp(bb[:0])
+		if len(ba) != len(bb) {
+			t.Fatal("same seed diverged")
+		}
+		for j := range ba {
+			if ba[j] != bb[j] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}
+
+func BenchmarkKroneckerBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Kronecker(14, 8, uint64(i))
+	}
+}
+
+func BenchmarkBFSOp(b *testing.B) {
+	src := NewSource(BFS, Kron, 14, 8, 1)
+	var buf []trace.Access
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = src.NextOp(buf[:0])
+	}
+}
+
+func BenchmarkPROp(b *testing.B) {
+	src := NewSource(PR, Kron, 14, 8, 1)
+	var buf []trace.Access
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = src.NextOp(buf[:0])
+	}
+}

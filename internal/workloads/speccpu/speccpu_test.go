@@ -1,0 +1,142 @@
+package speccpu
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func smallBwaves() Config {
+	c := Bwaves(1)
+	c.Cells = 1 << 14
+	return c
+}
+
+func smallRoms() Config {
+	c := Roms(1)
+	c.Cells = 1 << 14
+	return c
+}
+
+func TestLayout(t *testing.T) {
+	p := New(smallBwaves())
+	// 16Ki cells × 8 B = 32 pages per array × 5 arrays.
+	if p.arrayPgs != 32 {
+		t.Errorf("arrayPgs = %d, want 32", p.arrayPgs)
+	}
+	if p.NumPages() != 160 {
+		t.Errorf("NumPages = %d, want 160", p.NumPages())
+	}
+}
+
+func TestOpsInBounds(t *testing.T) {
+	for _, cfg := range []Config{smallBwaves(), smallRoms()} {
+		p := New(cfg)
+		var buf []trace.Access
+		for i := 0; i < 10_000; i++ {
+			buf = p.NextOp(buf[:0])
+			if len(buf) < cfg.Arrays+2 {
+				t.Fatalf("%s: op has %d accesses, want ≥ arrays+2", cfg.Name, len(buf))
+			}
+			for _, a := range buf {
+				if int(a.Page) >= p.NumPages() {
+					t.Fatalf("%s: access out of bounds", cfg.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestSweepCoversFootprint(t *testing.T) {
+	// A long run must touch nearly every page — SPEC proxies are dense.
+	p := New(smallBwaves())
+	seen := make([]bool, p.NumPages())
+	var buf []trace.Access
+	for i := 0; i < 3000; i++ {
+		buf = p.NextOp(buf[:0])
+		for _, a := range buf {
+			seen[a.Page] = true
+		}
+	}
+	n := 0
+	for _, s := range seen {
+		if s {
+			n++
+		}
+	}
+	if frac := float64(n) / float64(len(seen)); frac < 0.8 {
+		t.Errorf("sweep covered only %.0f%% of pages; SPEC proxies should be dense", frac*100)
+	}
+}
+
+func TestSweepIsSequentialish(t *testing.T) {
+	// Consecutive ops in bwaves touch consecutive block pages of array 0.
+	p := New(smallBwaves())
+	var buf []trace.Access
+	buf = p.NextOp(buf[:0])
+	first := buf[0].Page
+	buf = p.NextOp(buf[:0])
+	second := buf[0].Page
+	if second < first || second > first+1 {
+		t.Errorf("sweep not sequential: %d then %d", first, second)
+	}
+}
+
+func TestWriteArrayIsWritten(t *testing.T) {
+	p := New(smallBwaves())
+	var buf []trace.Access
+	buf = p.NextOp(buf[:0])
+	hasWrite := false
+	for _, a := range buf {
+		if a.Write {
+			hasWrite = true
+		}
+	}
+	if !hasWrite {
+		t.Error("each op must write the updated state array")
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	bw, rm := Bwaves(1), Roms(1)
+	if bw.Arrays != 5 || rm.Arrays != 7 {
+		t.Error("array counts should be 5 (bwaves) and 7 (roms)")
+	}
+	if !rm.Planes || bw.Planes {
+		t.Error("only roms uses plane sweeps")
+	}
+	if New(bw).Name() != "spec-bwaves" || New(rm).Name() != "spec-roms" {
+		t.Error("names wrong")
+	}
+}
+
+func TestRomsPlaneJumps(t *testing.T) {
+	p := New(smallRoms())
+	var buf []trace.Access
+	// Collect first-array pages over a while; plane sweeps should visit
+	// non-contiguous regions sooner than a pure linear sweep would.
+	var pagesSeen []int64
+	for i := 0; i < 64; i++ {
+		buf = p.NextOp(buf[:0])
+		pagesSeen = append(pagesSeen, int64(buf[0].Page))
+	}
+	jumps := 0
+	for i := 1; i < len(pagesSeen); i++ {
+		d := pagesSeen[i] - pagesSeen[i-1]
+		if d < 0 || d > 1 {
+			jumps++
+		}
+	}
+	if jumps == 0 {
+		t.Error("roms should jump between planes")
+	}
+}
+
+func BenchmarkNextOp(b *testing.B) {
+	p := New(Bwaves(1))
+	var buf []trace.Access
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = p.NextOp(buf[:0])
+	}
+}
