@@ -6,10 +6,13 @@
 // scale per iteration, so `go test -bench=.` doubles as a smoke-run of the
 // whole harness; cmd/hybridbench runs the same experiments at quick/full
 // scale for the numbers recorded in EXPERIMENTS.md.
-package hybridtier
+package hybridtier_test
 
 import (
+	"context"
 	"testing"
+
+	hybridtier "repro"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -26,7 +29,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("experiment %q not registered", id)
 	}
 	for i := 0; i < b.N; i++ {
-		tbl, err := e.Run(experiments.Tiny)
+		tbl, err := e.Run(context.Background(), experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,12 +120,12 @@ func BenchmarkAblationMomentumOff(b *testing.B) {
 
 // End-to-end facade benches: simulator throughput per policy.
 
-func benchPolicy(b *testing.B, name PolicyName) {
+func benchPolicy(b *testing.B, name hybridtier.PolicyName) {
 	b.Helper()
 	const pages = 1 << 14
 	for i := 0; i < b.N; i++ {
-		w := Zipf("bench", pages, 1.0, 7)
-		res, err := Simulate(SimOptions{
+		w := hybridtier.Zipf("bench", pages, 1.0, 7)
+		res, err := hybridtier.Simulate(hybridtier.SimOptions{
 			Workload:  w,
 			Policy:    name,
 			FastRatio: 8,
@@ -135,19 +138,19 @@ func benchPolicy(b *testing.B, name PolicyName) {
 	}
 }
 
-func BenchmarkPolicyHybridTier(b *testing.B) { benchPolicy(b, PolicyHybridTier) }
-func BenchmarkPolicyMemtis(b *testing.B)     { benchPolicy(b, PolicyMemtis) }
-func BenchmarkPolicyAutoNUMA(b *testing.B)   { benchPolicy(b, PolicyAutoNUMA) }
-func BenchmarkPolicyTPP(b *testing.B)        { benchPolicy(b, PolicyTPP) }
-func BenchmarkPolicyARC(b *testing.B)        { benchPolicy(b, PolicyARC) }
-func BenchmarkPolicyTwoQ(b *testing.B)       { benchPolicy(b, PolicyTwoQ) }
+func BenchmarkPolicyHybridTier(b *testing.B) { benchPolicy(b, hybridtier.PolicyHybridTier) }
+func BenchmarkPolicyMemtis(b *testing.B)     { benchPolicy(b, hybridtier.PolicyMemtis) }
+func BenchmarkPolicyAutoNUMA(b *testing.B)   { benchPolicy(b, hybridtier.PolicyAutoNUMA) }
+func BenchmarkPolicyTPP(b *testing.B)        { benchPolicy(b, hybridtier.PolicyTPP) }
+func BenchmarkPolicyARC(b *testing.B)        { benchPolicy(b, hybridtier.PolicyARC) }
+func BenchmarkPolicyTwoQ(b *testing.B)       { benchPolicy(b, hybridtier.PolicyTwoQ) }
 
 // Huge-page mode end to end.
 func BenchmarkHugePageMode(b *testing.B) {
 	const pages = 1 << 16
 	for i := 0; i < b.N; i++ {
-		w := Zipf("bench-huge", pages, 1.0, 7)
-		if _, err := Simulate(SimOptions{
+		w := hybridtier.Zipf("bench-huge", pages, 1.0, 7)
+		if _, err := hybridtier.Simulate(hybridtier.SimOptions{
 			Workload:  w,
 			HugePages: true,
 			FastRatio: 8,

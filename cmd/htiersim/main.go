@@ -1,94 +1,155 @@
-// Command htiersim runs a single tiering simulation — one workload, one
-// policy, one fast:slow ratio — and prints its metrics. It is the
-// counterpart of the artifact's run_{workload}.sh scripts.
+// Command htiersim runs tiering simulations from the command line. A single
+// policy/ratio/seed runs one simulation and prints its metrics (the
+// counterpart of the artifact's run_{workload}.sh scripts); comma-separated
+// -policy, -ratio, or -seed values run the full cross product concurrently
+// through the facade's Sweep.
 //
 // Usage:
 //
-//	htiersim [-workload cdn] [-policy HybridTier] [-ratio 8] [-ops 1000000]
-//	         [-huge] [-cache] [-scale quick|full] [-seed 1] [-series]
+//	htiersim [-workload cdn] [-policy HybridTier,Memtis] [-ratio 8,16]
+//	         [-seed 1,2,3] [-ops 1000000] [-huge] [-cache]
+//	         [-scale tiny|quick|full] [-workers N] [-json] [-series] [-list]
+//
+// Workloads and policies are resolved through the public registries, so
+// -list can never drift from what actually runs. Ctrl-C cancels promptly.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
 
+	hybridtier "repro"
 	"repro/internal/experiments"
 	"repro/internal/mem"
-	"repro/internal/sim"
 )
 
 func main() {
 	workload := flag.String("workload", "cdn", "workload name (see -list)")
-	policy := flag.String("policy", "HybridTier", "tiering policy")
-	ratio := flag.Int("ratio", 8, "fast:slow ratio 1:N")
+	policy := flag.String("policy", "HybridTier", "tiering policy, or comma-separated list")
+	ratio := flag.String("ratio", "8", "fast:slow ratio 1:N, or comma-separated list")
+	seed := flag.String("seed", "1", "deterministic seed, or comma-separated list")
 	ops := flag.Int64("ops", 1_000_000, "operations to simulate")
 	huge := flag.Bool("huge", false, "2MB huge-page granularity")
 	cache := flag.Bool("cache", false, "enable the full CPU-cache model")
-	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
-	seed := flag.Uint64("seed", 1, "deterministic seed")
-	series := flag.Bool("series", false, "print the latency time series")
+	scaleFlag := flag.String("scale", "quick", "workload scale: tiny, quick, or full")
+	workers := flag.Int("workers", 0, "concurrent sweep cells (default: all cores)")
+	jsonOut := flag.Bool("json", false, "emit results as JSON")
+	series := flag.Bool("series", false, "print the latency time series (single run only)")
 	list := flag.Bool("list", false, "list workloads and policies")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("workloads:")
-		for _, w := range experiments.WorkloadNames() {
-			fmt.Printf("  %s\n", w)
+		for _, name := range hybridtier.DefaultWorkloads().Names() {
+			e, _ := hybridtier.DefaultWorkloads().Lookup(name)
+			fmt.Printf("  %-14s %s\n", name, e.Doc)
 		}
 		fmt.Println("policies:")
-		for _, p := range append(experiments.PolicyNames(),
-			"HybridTier-CBF", "HybridTier-onlyFreq", "LRU", "FirstTouch", "AllFast") {
-			fmt.Printf("  %s\n", p)
+		for _, name := range hybridtier.DefaultPolicies().Names() {
+			e, _ := hybridtier.DefaultPolicies().Lookup(name)
+			fmt.Printf("  %-20s %s\n", name, e.Doc)
 		}
 		return
 	}
 
-	scale := experiments.Quick
-	if *scaleFlag == "full" {
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "tiny":
+		scale = experiments.Tiny
+	case "quick":
+		scale = experiments.Quick
+	case "full":
 		scale = experiments.Full
-	}
-	w, err := scale.Workload(*workload, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "htiersim:", err)
-		os.Exit(2)
-	}
-	numPages := w.NumPages()
-	fast := numPages / (*ratio + 1)
-	if fast < 16 {
-		fast = 16
-	}
-	polPages, polFast := numPages, fast
-	if *huge {
-		polPages = (numPages + 511) / 512
-		polFast = fast / 512
-		if polFast < 4 {
-			polFast = 4
-		}
-	}
-	p, alloc, err := experiments.Policy(*policy, polPages, polFast, *huge)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "htiersim:", err)
-		os.Exit(2)
-	}
-	cfg := sim.DefaultConfig(w, p, polFast)
-	cfg.Ops = *ops
-	cfg.Alloc = alloc
-	cfg.Seed = *seed
-	cfg.AppCacheModel = *cache
-	if *huge {
-		cfg.PageBytes = mem.HugePageBytes
-	}
-	res, err := sim.Run(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "htiersim:", err)
-		os.Exit(1)
+	default:
+		fatalf(2, "unknown scale %q (want tiny, quick, or full)", *scaleFlag)
 	}
 
-	fmt.Printf("workload      %s (%d pages, %.0f MB)\n", res.Workload, numPages,
-		float64(numPages)*float64(mem.RegularPageBytes)/(1<<20))
+	policies := splitPolicies(*policy)
+	ratios, err := splitInts(*ratio)
+	if err != nil {
+		fatalf(2, "bad -ratio: %v", err)
+	}
+	seeds, err := splitSeeds(*seed)
+	if err != nil {
+		fatalf(2, "bad -seed: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sw := &hybridtier.Sweep{
+		Policies: policies,
+		Ratios:   ratios,
+		Seeds:    seeds,
+		Workers:  *workers,
+		Base: []hybridtier.Option{
+			hybridtier.WithWorkloadName(*workload),
+			hybridtier.WithWorkloadParams(scale.Params(seeds[0])),
+			hybridtier.WithOps(*ops),
+			hybridtier.WithHugePages(*huge),
+			hybridtier.WithCacheModel(*cache),
+		},
+	}
+	single := len(policies) == 1 && len(ratios) == 1 && len(seeds) == 1
+	if !single && !*jsonOut {
+		sw.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rhtiersim: %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	cells, err := sw.Run(ctx)
+	if err != nil && len(cells) == 0 {
+		fatalf(1, "%v", err)
+	}
+	failed := 0
+	for _, c := range cells {
+		if c.Err != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "htiersim: %s 1:%d seed %d: %s\n", c.Policy, c.Ratio, c.Seed, c.Err)
+		}
+	}
+
+	// Completed cells are always emitted, even when some failed: JSON
+	// carries per-cell errors in its "error" field, the table prints the
+	// successful rows.
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cells); err != nil {
+			fatalf(1, "%v", err)
+		}
+	case single:
+		if failed == 0 {
+			printSingle(cells[0], *ratio, *huge, *cache, *series)
+		}
+	default:
+		printSweep(cells)
+	}
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+	if failed > 0 {
+		fatalf(1, "%d of %d cells failed", failed, len(cells))
+	}
+}
+
+// printSingle renders one run in the traditional htiersim format.
+func printSingle(c hybridtier.CellResult, ratio string, huge, cache, series bool) {
+	res := c.Result
+	numPages := int(res.Mem.FastAllocs + res.Mem.SlowAllocs)
+	fmt.Printf("workload      %s\n", res.Workload)
 	fmt.Printf("policy        %s\n", res.Policy)
-	fmt.Printf("fast tier     %d pages (1:%d)\n", polFast, *ratio)
+	fmt.Printf("fast tier     1:%s split (huge pages: %v)\n", ratio, huge)
 	fmt.Printf("ops           %d in %.1f virtual ms\n", res.Ops, float64(res.ElapsedNs)/1e6)
 	fmt.Printf("latency       p50 %d ns   mean %.0f ns   p99 %d ns\n",
 		res.MedianLatNs, res.MeanLatNs, res.P99LatNs)
@@ -98,15 +159,19 @@ func main() {
 	fmt.Printf("sampling      %d samples of %d accesses (%d dropped)\n",
 		res.Pebs.Sampled, res.Pebs.Accesses, res.Pebs.Dropped)
 	fmt.Printf("faults        %d hint faults\n", res.Faults)
-	fmt.Printf("metadata      %.1f KB (%.4f%% of footprint)\n",
-		float64(res.MetadataBytes)/1024,
-		100*float64(res.MetadataBytes)/(float64(numPages)*float64(mem.RegularPageBytes)))
+	if numPages > 0 {
+		fmt.Printf("metadata      %.1f KB (%.4f%% of touched footprint)\n",
+			float64(res.MetadataBytes)/1024,
+			100*float64(res.MetadataBytes)/(float64(numPages)*float64(mem.RegularPageBytes)))
+	} else {
+		fmt.Printf("metadata      %.1f KB\n", float64(res.MetadataBytes)/1024)
+	}
 	fmt.Printf("tiering busy  %.2f virtual ms\n", res.TieringBusyNs/1e6)
-	if *cache {
+	if cache {
 		fmt.Printf("cache         tiering share of misses: L1 %.1f%%  LLC %.1f%%\n",
 			100*res.L1.MissFraction(1), 100*res.LLC.MissFraction(1))
 	}
-	if *series {
+	if series {
 		fmt.Println("\ntime(ms)  p50(ns)  mean(ns)  slow-share")
 		for i, pt := range res.Series {
 			slow := ""
@@ -117,4 +182,68 @@ func main() {
 				float64(pt.Time)/1e6, pt.Median, pt.Mean, slow)
 		}
 	}
+}
+
+// printSweep renders a sweep as one aligned row per completed cell.
+func printSweep(cells []hybridtier.CellResult) {
+	fmt.Printf("%-20s %-6s %-6s %9s %10s %8s %10s %10s\n",
+		"policy", "ratio", "seed", "p50(ns)", "mean(ns)", "Mop/s", "promoted", "demoted")
+	for _, c := range cells {
+		if c.Result == nil {
+			continue // failure already reported on stderr
+		}
+		r := c.Result
+		fmt.Printf("%-20s 1:%-4d %-6d %9d %10.0f %8.2f %10d %10d\n",
+			c.Policy, c.Ratio, c.Seed, r.MedianLatNs, r.MeanLatNs,
+			r.ThroughputMops, r.Mem.Promotions, r.Mem.Demotions)
+	}
+}
+
+func splitPolicies(s string) []hybridtier.PolicyName {
+	var out []hybridtier.PolicyName
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, hybridtier.PolicyName(p))
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func splitSeeds(s string) ([]uint64, error) {
+	var out []uint64
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			v, err := strconv.ParseUint(p, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func fatalf(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "htiersim: "+format+"\n", args...)
+	os.Exit(code)
 }

@@ -3,16 +3,20 @@
 //
 // Usage:
 //
-//	hybridbench [-scale quick|full] [-run fig9,tab3,...] [-list]
+//	hybridbench [-scale tiny|quick|full] [-run fig9,tab3,...] [-list]
 //
 // Output is printed as aligned text tables, one per experiment, with notes
 // recording the paper's expected shape next to the measured values.
+// Policy-grid experiments fan their cells out across cores through the
+// facade's Sweep; Ctrl-C cancels the in-flight experiment promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -20,7 +24,7 @@ import (
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	scaleFlag := flag.String("scale", "quick", "experiment scale: tiny, quick, or full")
 	runFlag := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	listFlag := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -34,12 +38,14 @@ func main() {
 
 	var scale experiments.Scale
 	switch *scaleFlag {
+	case "tiny":
+		scale = experiments.Tiny
 	case "quick":
 		scale = experiments.Quick
 	case "full":
 		scale = experiments.Full
 	default:
-		fmt.Fprintf(os.Stderr, "hybridbench: unknown scale %q (want quick or full)\n", *scaleFlag)
+		fmt.Fprintf(os.Stderr, "hybridbench: unknown scale %q (want tiny, quick, or full)\n", *scaleFlag)
 		os.Exit(2)
 	}
 
@@ -58,11 +64,14 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Printf("HybridTier reproduction — scale %s, %d experiment(s)\n\n", scale.Name, len(todo))
 	start := time.Now()
 	for _, e := range todo {
 		t0 := time.Now()
-		tbl, err := e.Run(scale)
+		tbl, err := e.Run(ctx, scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hybridbench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)

@@ -1,44 +1,61 @@
 // CacheLib adaptation demo: reproduce the paper's headline scenario (Fig. 4)
 // at laptop scale — an in-memory cache whose popularity distribution shifts
-// mid-run, compared across AutoNUMA, Memtis, and HybridTier.
+// mid-run, compared across AutoNUMA, Memtis, and HybridTier. All three
+// policies run concurrently as one Sweep; each cell builds its own workload
+// instance from the shared factory, so every policy sees the identical
+// op stream.
 //
 //	go run ./examples/cachelib
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	hybridtier "repro"
-	"repro/internal/sim"
 	"repro/internal/workloads/cachelib"
 )
 
 func main() {
 	const ops = 1_500_000
 
-	policies := []hybridtier.PolicyName{
-		hybridtier.PolicyAutoNUMA,
-		hybridtier.PolicyMemtis,
-		hybridtier.PolicyHybridTier,
+	sw := &hybridtier.Sweep{
+		Policies: []hybridtier.PolicyName{
+			hybridtier.PolicyAutoNUMA,
+			hybridtier.PolicyMemtis,
+			hybridtier.PolicyHybridTier,
+		},
+		Seeds: []uint64{7},
+		Base: []hybridtier.Option{
+			hybridtier.WithWorkloadFunc(func(seed uint64) (hybridtier.Workload, error) {
+				cfg := cachelib.CDN(seed)
+				cfg.Objects = 8_000
+				cfg.ChurnEveryOps = 0
+				cfg.ShiftAfterOps = ops / 3
+				cfg.ShiftFrac = 2.0 / 3.0
+				return cachelib.New(cfg)
+			}),
+			hybridtier.WithRatio(8),
+			hybridtier.WithOps(ops),
+			// Adaptation measurement needs finer latency windows than the
+			// default 100 ms to resolve the re-convergence point.
+			hybridtier.WithWindowNs(5_000_000),
+		},
+	}
+	cells, err := sw.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("CacheLib CDN, 1:8 fast:slow, popularity shift at 1/3 of the run")
 	fmt.Println()
 	fmt.Println("policy      p50(ns)  mean(ns)  promoted  demoted  adapt(ms)")
-
-	for _, pol := range policies {
-		// Fresh workload per policy: identical op stream, shared seed.
-		cfg := cachelib.CDN(7)
-		cfg.Objects = 8_000
-		cfg.ChurnEveryOps = 0
-		cfg.ShiftAfterOps = ops / 3
-		cfg.ShiftFrac = 2.0 / 3.0
-		w, err := cachelib.New(cfg)
-		if err != nil {
-			log.Fatal(err)
+	for _, c := range cells {
+		if c.Err != "" {
+			log.Fatalf("%s: %s", c.Policy, c.Err)
 		}
-		res := mustRun(w, pol, ops)
+		res := c.Result
 		adapt := "n/a"
 		if ns, ok := res.AdaptationNs(10, 0.05); ok {
 			adapt = fmt.Sprintf("%.1f", float64(ns)/1e6)
@@ -47,22 +64,4 @@ func main() {
 			res.Policy, res.MedianLatNs, res.MeanLatNs,
 			res.Mem.Promotions, res.Mem.Demotions, adapt)
 	}
-}
-
-func mustRun(w *cachelib.Cache, pol hybridtier.PolicyName, ops int64) *sim.Result {
-	fast := w.NumPages() / 9
-	p, alloc, err := hybridtier.NewPolicy(pol, w.NumPages(), fast, false)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := sim.DefaultConfig(w, p, fast)
-	cfg.Ops = ops
-	cfg.Alloc = alloc
-	cfg.WindowNs = 5_000_000
-	cfg.Seed = 7
-	res, err := sim.Run(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return res
 }

@@ -1,7 +1,8 @@
 // Database demo: a YCSB-C key-value workload over the Silo-style B+tree
 // engine, plus the live Runtime — the policy running as a real background
 // goroutine fed by sampled accesses, the deployment shape of the paper's
-// userspace runtime thread (§4.1).
+// userspace runtime thread (§4.1). The workload is resolved through the
+// public workload registry, the same path Experiment and Sweep use.
 //
 //	go run ./examples/dbtier
 package main
@@ -11,6 +12,7 @@ import (
 	"log"
 	"time"
 
+	hybridtier "repro"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/tier"
@@ -19,14 +21,16 @@ import (
 )
 
 func main() {
-	cfg := silo.Default(11)
-	cfg.Records = 1 << 17 // 128 Ki records for a quick demo
-	db, err := silo.New(cfg)
+	w, err := hybridtier.DefaultWorkloads().New("silo", hybridtier.WorkloadParams{
+		Seed:    11,
+		Records: 1 << 17, // 128 Ki records for a quick demo
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	db := w.(*silo.DB) // the live-runtime demo needs the engine's own API
 	fmt.Printf("Silo B+tree: %d records, height %d, %d index pages, %d total pages\n",
-		cfg.Records, db.Height(), db.IndexPages(), db.NumPages())
+		1<<17, db.Height(), db.IndexPages(), db.NumPages())
 
 	// Tiered memory: fast tier holds 1/9 of the footprint; everything is
 	// initially slow (cold start).

@@ -1,17 +1,18 @@
 // Graph-analytics demo: run the GAP BFS kernel over a Kronecker graph under
 // tiered memory. BFS restarts from a new source every traversal, so its hot
 // set keeps moving — the workload where the paper reports HybridTier's
-// largest speedups (§6.1).
+// largest speedups (§6.1). The policy × ratio grid runs as one concurrent
+// Sweep; the registry-built "bfs-kron" cells share one cached graph build.
 //
 //	go run ./examples/graphtier
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	hybridtier "repro"
-	"repro/internal/sim"
 	"repro/internal/workloads/gap"
 )
 
@@ -22,31 +23,36 @@ func main() {
 		ops    = 800_000
 	)
 
-	// One graph, shared by every policy run.
-	graph := gap.Kronecker(scale, degree, 3)
-	fmt.Printf("Kronecker graph: 2^%d vertices, %d edges\n\n", scale, graph.NumEdges())
-	fmt.Println("policy      ratio  mean(ns)  Mop/s  trials")
-
-	for _, ratio := range []int{16, 8} {
-		for _, pol := range []hybridtier.PolicyName{
+	sw := &hybridtier.Sweep{
+		Policies: []hybridtier.PolicyName{
 			hybridtier.PolicyTPP,
 			hybridtier.PolicyHybridTier,
-		} {
-			src := gap.NewSourceFromGraph(gap.BFS, graph, "bfs-kron", 3)
-			fast := src.NumPages() / (ratio + 1)
-			p, alloc, err := hybridtier.NewPolicy(pol, src.NumPages(), fast, false)
-			if err != nil {
-				log.Fatal(err)
-			}
-			cfg := sim.DefaultConfig(src, p, fast)
-			cfg.Ops = ops
-			cfg.Alloc = alloc
-			res, err := sim.Run(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%-10s  1:%-3d  %8.0f  %5.2f  %d\n",
-				res.Policy, ratio, res.MeanLatNs, res.ThroughputMops, src.Trials())
+		},
+		Ratios: []int{16, 8},
+		Seeds:  []uint64{3},
+		Base: []hybridtier.Option{
+			hybridtier.WithWorkloadName("bfs-kron"),
+			hybridtier.WithWorkloadParams(hybridtier.WorkloadParams{
+				GraphScale:  scale,
+				GraphDegree: degree,
+			}),
+			hybridtier.WithOps(ops),
+		},
+	}
+	cells, err := sw.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The registry cells built their sources over this same shared graph.
+	graph := gap.SharedGraph(gap.Kron, scale, degree, 3)
+	fmt.Printf("Kronecker graph: 2^%d vertices, %d edges\n\n", scale, graph.NumEdges())
+	fmt.Println("policy      ratio  mean(ns)  Mop/s")
+	for _, c := range cells {
+		if c.Err != "" {
+			log.Fatalf("%s 1:%d: %s", c.Policy, c.Ratio, c.Err)
 		}
+		fmt.Printf("%-10s  1:%-3d  %8.0f  %5.2f\n",
+			c.Result.Policy, c.Ratio, c.Result.MeanLatNs, c.Result.ThroughputMops)
 	}
 }

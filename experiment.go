@@ -1,0 +1,173 @@
+package hybridtier
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/registry"
+	"repro/internal/sim"
+)
+
+// Experiment is one configured simulation: a workload, a policy, and a
+// capacity split. Build it with NewExperiment and functional options, then
+// execute it with Run. An Experiment is immutable after construction and
+// cheap to copy; Sweep stamps many cells out of one option set.
+type Experiment struct {
+	policy   PolicyName
+	workload Workload
+	wname    string
+	wfunc    func(seed uint64) (Workload, error)
+	params   WorkloadParams
+	ratio    int
+	ops      int64
+	huge     bool
+	cache    bool
+	seed     uint64
+	windowNs int64
+	progress func(done, total int64)
+}
+
+// Option configures an Experiment.
+type Option func(*Experiment)
+
+// WithPolicy selects the tiering system by registry name
+// (default PolicyHybridTier).
+func WithPolicy(name PolicyName) Option {
+	return func(e *Experiment) { e.policy = name }
+}
+
+// WithWorkload supplies a concrete workload instance. Workload sources are
+// stateful and not safe for concurrent use, so sweeps reject this option;
+// use WithWorkloadName or WithWorkloadFunc there.
+func WithWorkload(w Workload) Option {
+	return func(e *Experiment) { e.workload = w }
+}
+
+// WithWorkloadName resolves the workload through the workload registry at
+// Run time, sized by WithWorkloadParams and seeded per run — the form
+// Sweep needs to build an independent instance per cell.
+func WithWorkloadName(name string) Option {
+	return func(e *Experiment) { e.wname = name }
+}
+
+// WithWorkloadFunc supplies a workload factory invoked with the run's seed,
+// for workloads that need configuration beyond WorkloadParams.
+func WithWorkloadFunc(fn func(seed uint64) (Workload, error)) Option {
+	return func(e *Experiment) { e.wfunc = fn }
+}
+
+// WithWorkloadParams sizes a WithWorkloadName workload. The Seed field is
+// overridden by the run's seed.
+func WithWorkloadParams(p WorkloadParams) Option {
+	return func(e *Experiment) { e.params = p }
+}
+
+// WithRatio sets N in a 1:N fast:slow capacity split (default 8).
+func WithRatio(n int) Option {
+	return func(e *Experiment) { e.ratio = n }
+}
+
+// WithOps sets the number of operations to simulate (default 1,000,000).
+func WithOps(n int64) Option {
+	return func(e *Experiment) { e.ops = n }
+}
+
+// WithHugePages switches to 2 MB tracking/migration granularity (§4.4).
+func WithHugePages(on bool) Option {
+	return func(e *Experiment) { e.huge = on }
+}
+
+// WithCacheModel enables the full application+tiering CPU-cache model used
+// by the cache-overhead experiments (slower).
+func WithCacheModel(on bool) Option {
+	return func(e *Experiment) { e.cache = on }
+}
+
+// WithSeed makes the run deterministic (default 1). The seed drives both
+// the workload instance and the simulator.
+func WithSeed(s uint64) Option {
+	return func(e *Experiment) { e.seed = s }
+}
+
+// WithWindowNs sets the latency time-series window (default 100 virtual
+// ms); adaptation studies use finer windows to resolve re-convergence.
+func WithWindowNs(ns int64) Option {
+	return func(e *Experiment) { e.windowNs = ns }
+}
+
+// WithProgress installs a callback invoked from the simulation loop with
+// (done, total) operation counts. It must be cheap and, under Sweep,
+// concurrency-safe: cells running in parallel share it.
+func WithProgress(fn func(done, total int64)) Option {
+	return func(e *Experiment) { e.progress = fn }
+}
+
+// NewExperiment builds an experiment from options. Unset or zero-valued
+// knobs fall back to the same defaults Simulate used: HybridTier at a 1:8
+// split, one million ops, seed 1.
+func NewExperiment(opts ...Option) *Experiment {
+	e := &Experiment{policy: PolicyHybridTier}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.policy == "" {
+		e.policy = PolicyHybridTier
+	}
+	if e.ratio <= 0 {
+		e.ratio = 8
+	}
+	if e.ops <= 0 {
+		e.ops = 1_000_000
+	}
+	if e.seed == 0 {
+		e.seed = 1
+	}
+	return e
+}
+
+// buildWorkload materializes the experiment's workload for one run.
+func (e *Experiment) buildWorkload() (Workload, error) {
+	switch {
+	case e.workload != nil:
+		return e.workload, nil
+	case e.wfunc != nil:
+		return e.wfunc(e.seed)
+	case e.wname != "":
+		p := e.params
+		p.Seed = e.seed
+		return registry.Workloads.New(e.wname, p)
+	default:
+		return nil, fmt.Errorf("hybridtier: experiment needs a workload " +
+			"(WithWorkload, WithWorkloadName, or WithWorkloadFunc)")
+	}
+}
+
+// Run executes the experiment. Cancelling ctx stops the simulation loop
+// promptly; the returned error then wraps the context error (and exposes
+// the completed op count via *sim.CanceledError).
+func (e *Experiment) Run(ctx context.Context) (*Result, error) {
+	w, err := e.buildWorkload()
+	if err != nil {
+		return nil, err
+	}
+	polPages, polFast := tierCapacity(w.NumPages(), e.ratio, e.huge)
+	p, alloc, err := NewPolicy(e.policy, polPages, polFast, e.huge)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig(w, p, polFast)
+	cfg.Ops = e.ops
+	cfg.Alloc = alloc
+	cfg.Seed = e.seed
+	cfg.AppCacheModel = e.cache
+	if e.huge {
+		cfg.PageBytes = mem.HugePageBytes
+	}
+	if e.windowNs > 0 {
+		cfg.WindowNs = e.windowNs
+	}
+	cfg.Ctx = ctx
+	cfg.Progress = e.progress
+	return sim.Run(cfg)
+}

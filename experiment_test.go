@@ -1,0 +1,149 @@
+package hybridtier
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestExperimentDefaults(t *testing.T) {
+	e := NewExperiment(WithWorkload(Zipf("t", 4096, 1.0, 1)))
+	if e.policy != PolicyHybridTier || e.ratio != 8 || e.ops != 1_000_000 || e.seed != 1 {
+		t.Errorf("defaults = %+v", e)
+	}
+	// Zero-valued options fall back to the same defaults (the Simulate
+	// wrapper depends on this).
+	e = NewExperiment(WithRatio(0), WithOps(0), WithSeed(0), WithPolicy(""))
+	if e.policy != PolicyHybridTier || e.ratio != 8 || e.ops != 1_000_000 || e.seed != 1 {
+		t.Errorf("zero-valued options must normalize, got %+v", e)
+	}
+}
+
+func TestExperimentRequiresWorkload(t *testing.T) {
+	_, err := NewExperiment().Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "workload") {
+		t.Errorf("missing workload must fail usefully, got %v", err)
+	}
+}
+
+func TestExperimentUnknownNames(t *testing.T) {
+	_, err := NewExperiment(
+		WithWorkloadName("no-such-workload"), WithOps(100),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "no-such-workload") {
+		t.Errorf("unknown workload must fail with its name, got %v", err)
+	}
+	_, err = NewExperiment(
+		WithWorkload(Zipf("t", 1024, 1.0, 1)),
+		WithPolicy("no-such-policy"), WithOps(100),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "no-such-policy") {
+		t.Errorf("unknown policy must fail with its name, got %v", err)
+	}
+}
+
+func TestExperimentRegistryWorkload(t *testing.T) {
+	res, err := NewExperiment(
+		WithWorkloadName("zipf"),
+		WithWorkloadParams(WorkloadParams{Pages: 4096}),
+		WithOps(50_000),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "HybridTier" || res.Ops != 50_000 {
+		t.Errorf("bad result: policy=%q ops=%d", res.Policy, res.Ops)
+	}
+}
+
+// TestExperimentMatchesSimulate pins the deprecated wrapper to the new
+// path: identical configuration must produce the identical Result.
+func TestExperimentMatchesSimulate(t *testing.T) {
+	old, err := Simulate(SimOptions{
+		Workload: Zipf("t", 4096, 1.0, 9), FastRatio: 8, Ops: 60_000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewExperiment(
+		WithWorkload(Zipf("t", 4096, 1.0, 9)),
+		WithRatio(8), WithOps(60_000), WithSeed(9),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianLatNs != old.MedianLatNs || res.ElapsedNs != old.ElapsedNs ||
+		res.Mem != old.Mem {
+		t.Errorf("Experiment and Simulate diverged:\n exp %+v\n sim %+v", res.Mem, old.Mem)
+	}
+}
+
+// TestExperimentCancellation cancels mid-run via the progress callback and
+// expects a prompt partial-result error.
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const ops = 2_000_000
+	_, err := NewExperiment(
+		WithWorkload(Zipf("t", 1<<14, 1.0, 1)),
+		WithOps(ops),
+		WithProgress(func(done, total int64) {
+			if done > 0 && done < total {
+				cancel()
+			}
+		}),
+	).Run(ctx)
+	if err == nil {
+		t.Fatal("canceled run must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error must wrap context.Canceled: %v", err)
+	}
+	var ce *sim.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error must be a *sim.CanceledError: %v", err)
+	}
+	if ce.OpsDone <= 0 || ce.OpsDone >= ops {
+		t.Errorf("cancellation should land mid-run, OpsDone = %d of %d", ce.OpsDone, ops)
+	}
+}
+
+func TestPoliciesListsRegistry(t *testing.T) {
+	names := Policies()
+	if len(names) < 11 {
+		t.Fatalf("expected at least the paper's 11 policies, got %d: %v", len(names), names)
+	}
+	seen := map[PolicyName]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []PolicyName{
+		PolicyHybridTier, PolicyHybridTierCBF, PolicyHybridTierOnlyFreq,
+		PolicyMemtis, PolicyAutoNUMA, PolicyTPP, PolicyARC, PolicyTwoQ,
+		PolicyLRU, PolicyFirstTouch, PolicyAllFast,
+	} {
+		if !seen[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+}
+
+func TestWorkloadRegistryListsPaperWorkloads(t *testing.T) {
+	names := DefaultWorkloads().Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []string{
+		"cdn", "social", "bfs-kron", "bfs-urand", "cc-kron", "cc-urand",
+		"pr-kron", "pr-urand", "bwaves", "roms", "silo", "xgboost",
+		"zipf", "shifting-zipf",
+	} {
+		if !seen[want] {
+			t.Errorf("workload registry missing %q (have %v)", want, names)
+		}
+	}
+}

@@ -1,38 +1,57 @@
 // Package hybridtier is the public facade of this repository's Go
 // reproduction of "HybridTier: an Adaptive and Lightweight CXL-Memory
-// Tiering System" (ASPLOS 2025). It re-exports the pieces a downstream user
-// composes:
+// Tiering System" (ASPLOS 2025). It is built around two composable,
+// registry-backed concepts:
 //
-//   - a tiering policy (HybridTier itself, or one of the paper's baselines),
-//   - a tiered-memory model with CXL-calibrated latencies,
-//   - workload generators for the paper's twelve evaluation workloads, and
-//   - the discrete-event simulator that connects them.
+//   - an Experiment: one workload × one policy × one capacity split,
+//     configured with functional options and run under a context.Context
+//     with optional progress reporting, and
+//   - a Sweep: the cross product of policies × ratios × seeds, executed
+//     concurrently across cores by a worker pool with deterministic
+//     per-cell seeding, so results are identical regardless of the worker
+//     count.
+//
+// Policies and workloads are resolved by name through the process-wide
+// registries (DefaultPolicies, DefaultWorkloads). The built-in systems and
+// the paper's twelve evaluation workloads self-register from their
+// packages; external packages can register their own entries and every
+// consumer — the experiment harness, the CLIs, sweeps — picks them up.
 //
 // Quick start:
 //
-//	w := hybridtier.Zipf("demo", 1<<16, 1.0, 42)
-//	res, err := hybridtier.Simulate(hybridtier.SimOptions{
-//	    Workload:  w,
-//	    Policy:    hybridtier.PolicyHybridTier,
-//	    FastRatio: 8, // fast:slow = 1:8
-//	})
+//	res, err := hybridtier.NewExperiment(
+//	    hybridtier.WithWorkloadName("cdn"),
+//	    hybridtier.WithPolicy(hybridtier.PolicyHybridTier),
+//	    hybridtier.WithRatio(8), // fast:slow = 1:8
+//	    hybridtier.WithOps(1_000_000),
+//	).Run(context.Background())
+//
+// Sweeping the paper's comparison concurrently:
+//
+//	cells, err := (&hybridtier.Sweep{
+//	    Policies: []hybridtier.PolicyName{hybridtier.PolicyHybridTier, hybridtier.PolicyMemtis},
+//	    Ratios:   []int{16, 8, 4},
+//	    Seeds:    []uint64{1, 2, 3},
+//	    Base:     []hybridtier.Option{hybridtier.WithWorkloadName("cdn")},
+//	}).Run(ctx)
 //
 // For full control construct core.Config / sim.Config directly; the types
 // returned here are the same ones the internal packages define.
 package hybridtier
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
-	"repro/internal/mem"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/tier"
 	"repro/internal/trace"
+
+	"repro/internal/mem"
 )
 
-// PolicyName selects a tiering system.
+// PolicyName selects a tiering system by registry name.
 type PolicyName string
 
 // The systems evaluated in the paper (§5.2) plus the bounds.
@@ -50,23 +69,28 @@ const (
 	PolicyAllFast            PolicyName = "AllFast"
 )
 
-// Policies lists every selectable policy name.
+// Policies lists every registered policy name, sorted.
 func Policies() []PolicyName {
-	return []PolicyName{
-		PolicyHybridTier, PolicyHybridTierCBF, PolicyHybridTierOnlyFreq,
-		PolicyMemtis, PolicyAutoNUMA, PolicyTPP, PolicyARC, PolicyTwoQ,
-		PolicyLRU, PolicyFirstTouch, PolicyAllFast,
+	names := registry.Policies.Names()
+	out := make([]PolicyName, len(names))
+	for i, n := range names {
+		out[i] = PolicyName(n)
 	}
+	return out
 }
 
 // Workload is the access-stream interface workloads implement
 // (trace.Source re-exported).
 type Workload = trace.Source
 
-// Result is a simulation outcome (sim.Result re-exported).
+// Result is a simulation outcome (sim.Result re-exported). Its JSON shape
+// is stable: snake_case keys, fields only appended.
 type Result = sim.Result
 
 // SimOptions configures a Simulate call.
+//
+// Deprecated: use NewExperiment with functional options; SimOptions
+// remains as a thin wrapper over it.
 type SimOptions struct {
 	// Workload produces the access stream (required).
 	Workload Workload
@@ -85,87 +109,54 @@ type SimOptions struct {
 	Seed uint64
 }
 
-// NewPolicy constructs the named policy for a page space of numPages with a
-// fast tier of fastPages, returning the policy and the first-touch
-// allocation mode the paper's methodology prescribes for it.
+// NewPolicy constructs the named policy through the policy registry for a
+// page space of numPages with a fast tier of fastPages, returning the
+// policy and the first-touch allocation mode the paper's methodology
+// prescribes for it.
 func NewPolicy(name PolicyName, numPages, fastPages int, huge bool) (tier.Policy, mem.AllocMode, error) {
-	switch name {
-	case PolicyHybridTier, PolicyHybridTierCBF, PolicyHybridTierOnlyFreq:
-		cfg := core.DefaultConfig(fastPages)
-		if huge {
-			cfg.CounterBits = 16
-		}
-		cfg.Blocked = name != PolicyHybridTierCBF
-		cfg.DisableMomentum = name == PolicyHybridTierOnlyFreq
-		p, err := core.New(cfg)
-		return p, mem.AllocFastFirst, err
-	case PolicyMemtis:
-		return baselines.NewMemtis(baselines.DefaultMemtisConfig(numPages, fastPages)),
-			mem.AllocFastFirst, nil
-	case PolicyAutoNUMA:
-		return baselines.NewAutoNUMA(baselines.DefaultAutoNUMAConfig(numPages)),
-			mem.AllocFastFirst, nil
-	case PolicyTPP:
-		return baselines.NewTPP(baselines.DefaultTPPConfig(numPages)),
-			mem.AllocFastFirst, nil
-	case PolicyARC:
-		return baselines.NewARC(numPages, fastPages), mem.AllocSlow, nil
-	case PolicyTwoQ:
-		return baselines.NewTwoQ(numPages, fastPages), mem.AllocSlow, nil
-	case PolicyLRU:
-		return baselines.NewLRU(numPages, fastPages), mem.AllocSlow, nil
-	case PolicyFirstTouch:
-		return baselines.NewStatic("FirstTouch"), mem.AllocFastFirst, nil
-	case PolicyAllFast:
-		return baselines.NewStatic("AllFast"), mem.AllocFast, nil
-	default:
-		return nil, 0, fmt.Errorf("hybridtier: unknown policy %q", name)
-	}
+	return registry.Policies.New(string(name), numPages, fastPages, huge)
 }
 
-// Simulate runs one tiering simulation and returns its metrics.
-func Simulate(opts SimOptions) (*Result, error) {
-	if opts.Workload == nil {
-		return nil, fmt.Errorf("hybridtier: Workload is required")
+// tierCapacity computes the policy-granularity page space and fast-tier
+// capacity for a 1:ratio fast:slow split over a 4 KB-page footprint,
+// shared by every path that sizes a simulation.
+func tierCapacity(numPages, ratio int, huge bool) (polPages, polFast int) {
+	fast := numPages / (ratio + 1)
+	if fast < 16 {
+		fast = 16
 	}
-	if opts.Policy == "" {
-		opts.Policy = PolicyHybridTier
-	}
-	if opts.FastRatio <= 0 {
-		opts.FastRatio = 8
-	}
-	if opts.Ops <= 0 {
-		opts.Ops = 1_000_000
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	numPages := opts.Workload.NumPages()
-	fastPages := numPages / (opts.FastRatio + 1)
-	if fastPages < 16 {
-		fastPages = 16
-	}
-	polPages, polFast := numPages, fastPages
-	if opts.HugePages {
+	polPages, polFast = numPages, fast
+	if huge {
 		polPages = (numPages + 511) / 512
-		polFast = fastPages / 512
+		polFast = fast / 512
 		if polFast < 4 {
 			polFast = 4
 		}
 	}
-	p, alloc, err := NewPolicy(opts.Policy, polPages, polFast, opts.HugePages)
-	if err != nil {
-		return nil, err
+	return polPages, polFast
+}
+
+// Simulate runs one tiering simulation and returns its metrics.
+//
+// Deprecated: use NewExperiment(...).Run(ctx), which adds cancellation,
+// progress reporting, and registry-resolved workloads. Simulate remains a
+// working wrapper over the same path.
+func Simulate(opts SimOptions) (*Result, error) {
+	if opts.Workload == nil {
+		return nil, fmt.Errorf("hybridtier: Workload is required")
 	}
-	cfg := sim.DefaultConfig(opts.Workload, p, polFast)
-	cfg.Ops = opts.Ops
-	cfg.Alloc = alloc
-	cfg.Seed = opts.Seed
-	cfg.AppCacheModel = opts.CacheModel
-	if opts.HugePages {
-		cfg.PageBytes = mem.HugePageBytes
+	e := NewExperiment(
+		WithWorkload(opts.Workload),
+		WithRatio(opts.FastRatio),
+		WithOps(opts.Ops),
+		WithHugePages(opts.HugePages),
+		WithCacheModel(opts.CacheModel),
+		WithSeed(opts.Seed),
+	)
+	if opts.Policy != "" {
+		WithPolicy(opts.Policy)(e)
 	}
-	return sim.Run(cfg)
+	return e.Run(context.Background())
 }
 
 // Zipf returns a single-page-per-op workload with Zipf(s) popularity over n

@@ -1,0 +1,62 @@
+package baselines
+
+import (
+	"repro/internal/mem"
+	"repro/internal/registry"
+	"repro/internal/tier"
+)
+
+// init self-registers every baseline system evaluated in §5.2 with the
+// first-touch allocation mode the paper's methodology prescribes for it:
+// the kernel-style systems place new pages fast-first, the cache-style
+// replacement policies (ARC, TwoQ, LRU) start with everything slow.
+func init() {
+	registry.Policies.MustRegister(registry.PolicyEntry{
+		Name: "Memtis", Doc: "sampling-based kernel tiering with EMA hotness (HPCA'23 baseline)",
+		New: func(numPages, fastPages int, _ bool) (tier.Policy, mem.AllocMode, error) {
+			return NewMemtis(DefaultMemtisConfig(numPages, fastPages)), mem.AllocFastFirst, nil
+		},
+	})
+	registry.Policies.MustRegister(registry.PolicyEntry{
+		Name: "AutoNUMA", Doc: "Linux hint-fault promotion with MGLRU-style demotion",
+		New: func(numPages, fastPages int, _ bool) (tier.Policy, mem.AllocMode, error) {
+			return NewAutoNUMA(DefaultAutoNUMAConfig(numPages)), mem.AllocFastFirst, nil
+		},
+	})
+	registry.Policies.MustRegister(registry.PolicyEntry{
+		Name: "TPP", Doc: "Meta's transparent page placement (fault-driven NUMA balancing)",
+		New: func(numPages, fastPages int, _ bool) (tier.Policy, mem.AllocMode, error) {
+			return NewTPP(DefaultTPPConfig(numPages)), mem.AllocFastFirst, nil
+		},
+	})
+	registry.Policies.MustRegister(registry.PolicyEntry{
+		Name: "ARC", Doc: "adaptive replacement cache treating the fast tier as a cache",
+		New: func(numPages, fastPages int, _ bool) (tier.Policy, mem.AllocMode, error) {
+			return NewARC(numPages, fastPages), mem.AllocSlow, nil
+		},
+	})
+	registry.Policies.MustRegister(registry.PolicyEntry{
+		Name: "TwoQ", Doc: "2Q replacement treating the fast tier as a cache",
+		New: func(numPages, fastPages int, _ bool) (tier.Policy, mem.AllocMode, error) {
+			return NewTwoQ(numPages, fastPages), mem.AllocSlow, nil
+		},
+	})
+	registry.Policies.MustRegister(registry.PolicyEntry{
+		Name: "LRU", Doc: "strict least-recently-used replacement",
+		New: func(numPages, fastPages int, _ bool) (tier.Policy, mem.AllocMode, error) {
+			return NewLRU(numPages, fastPages), mem.AllocSlow, nil
+		},
+	})
+	registry.Policies.MustRegister(registry.PolicyEntry{
+		Name: "FirstTouch", Doc: "static placement: pages stay where first allocated",
+		New: func(int, int, bool) (tier.Policy, mem.AllocMode, error) {
+			return NewStatic("FirstTouch"), mem.AllocFastFirst, nil
+		},
+	})
+	registry.Policies.MustRegister(registry.PolicyEntry{
+		Name: "AllFast", Doc: "upper bound: every page in the fast tier",
+		New: func(int, int, bool) (tier.Policy, mem.AllocMode, error) {
+			return NewStatic("AllFast"), mem.AllocFast, nil
+		},
+	})
+}

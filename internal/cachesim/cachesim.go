@@ -34,8 +34,8 @@ type Config struct {
 
 // Stats counts accesses and misses per actor for one level.
 type Stats struct {
-	Accesses [numActors]uint64
-	Misses   [numActors]uint64
+	Accesses [numActors]uint64 `json:"accesses"`
+	Misses   [numActors]uint64 `json:"misses"`
 }
 
 // TotalAccesses sums accesses over all actors.

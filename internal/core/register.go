@@ -1,0 +1,44 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/registry"
+	"repro/internal/tier"
+)
+
+// newVariant builds one HybridTier configuration: blocked selects the
+// cache-friendly blocked CBF (§4.2), momentum enables the dual-metric
+// momentum tracker (§4.3), and huge switches to the 16-bit counters the
+// 2 MB-granularity mode uses (§4.4).
+func newVariant(fastPages int, huge, blocked, momentum bool) (tier.Policy, mem.AllocMode, error) {
+	cfg := DefaultConfig(fastPages)
+	if huge {
+		cfg.CounterBits = 16
+	}
+	cfg.Blocked = blocked
+	cfg.DisableMomentum = !momentum
+	p, err := New(cfg)
+	return p, mem.AllocFastFirst, err
+}
+
+// init self-registers HybridTier and its ablation variants.
+func init() {
+	registry.Policies.MustRegister(registry.PolicyEntry{
+		Name: "HybridTier", Doc: "the paper's system: blocked CBF + momentum tracking",
+		New: func(_, fastPages int, huge bool) (tier.Policy, mem.AllocMode, error) {
+			return newVariant(fastPages, huge, true, true)
+		},
+	})
+	registry.Policies.MustRegister(registry.PolicyEntry{
+		Name: "HybridTier-CBF", Doc: "ablation: standard (unblocked) counting Bloom filter",
+		New: func(_, fastPages int, huge bool) (tier.Policy, mem.AllocMode, error) {
+			return newVariant(fastPages, huge, false, true)
+		},
+	})
+	registry.Policies.MustRegister(registry.PolicyEntry{
+		Name: "HybridTier-onlyFreq", Doc: "ablation: momentum tracker disabled (frequency only)",
+		New: func(_, fastPages int, huge bool) (tier.Policy, mem.AllocMode, error) {
+			return newVariant(fastPages, huge, true, false)
+		},
+	})
+}

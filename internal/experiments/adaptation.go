@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	hybridtier "repro"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -13,30 +15,27 @@ func init() {
 }
 
 // runShift executes one adaptation run: a CacheLib workload whose
-// popularity rotates by 2/3 one third of the way in.
-func runShift(s Scale, workload, policy string, ratio int) (*sim.Result, error) {
-	w, err := s.ShiftingCacheLib(workload, 21, s.AdaptOps/3)
-	if err != nil {
-		return nil, err
-	}
-	fast := fastPagesFor(w.NumPages(), ratio)
-	p, alloc, err := Policy(policy, w.NumPages(), fast, false)
-	if err != nil {
-		return nil, err
-	}
-	cfg := sim.DefaultConfig(w, p, fast)
-	cfg.Ops = s.AdaptOps
-	cfg.Alloc = alloc
-	cfg.Seed = 21
-	// Adaptation timelines need finer windows than throughput runs to
-	// resolve the re-convergence point.
-	cfg.WindowNs = 5_000_000
-	return sim.Run(cfg)
+// popularity rotates by 2/3 one third of the way in. The workload needs
+// shift configuration beyond the registry's sizing params, so it goes
+// through the facade's workload-factory option. Adaptation timelines need
+// finer windows than throughput runs to resolve the re-convergence point.
+func runShift(ctx context.Context, s Scale, workload, policy string, ratio int) (*sim.Result, error) {
+	e := hybridtier.NewExperiment(
+		hybridtier.WithWorkloadFunc(func(seed uint64) (hybridtier.Workload, error) {
+			return s.ShiftingCacheLib(workload, seed, s.AdaptOps/3)
+		}),
+		hybridtier.WithPolicy(hybridtier.PolicyName(policy)),
+		hybridtier.WithRatio(ratio),
+		hybridtier.WithOps(s.AdaptOps),
+		hybridtier.WithSeed(21),
+		hybridtier.WithWindowNs(5_000_000),
+	)
+	return e.Run(ctx)
 }
 
 // runFig4 reproduces Figure 4: median cache latency over time for
 // AutoNUMA, Memtis, and HybridTier around the distribution change.
-func runFig4(s Scale) (*Table, error) {
+func runFig4(ctx context.Context, s Scale) (*Table, error) {
 	policies := []string{"AutoNUMA", "Memtis", "HybridTier"}
 	t := &Table{
 		ID:      "fig4",
@@ -49,7 +48,7 @@ func runFig4(s Scale) (*Table, error) {
 	series := make(map[string][]stats.SeriesPoint)
 	var shiftNs int64
 	for _, pol := range policies {
-		res, err := runShift(s, "cdn", pol, 8)
+		res, err := runShift(ctx, s, "cdn", pol, 8)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +98,7 @@ func runFig4(s Scale) (*Table, error) {
 // runTab3 reproduces Table 3: time (virtual) to come within 1% of the
 // steady-state median latency after the shift, Memtis vs HybridTier over
 // both CacheLib workloads and the configured ratios.
-func runTab3(s Scale) (*Table, error) {
+func runTab3(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:      "tab3",
 		Title:   "Time to adapt to new distribution (virtual ms; lower is better)",
@@ -114,7 +113,7 @@ func runTab3(s Scale) (*Table, error) {
 			vals := map[string]string{}
 			var memtisNs, hybridNs float64
 			for _, pol := range []string{"Memtis", "HybridTier"} {
-				res, err := runShift(s, wl, pol, ratio)
+				res, err := runShift(ctx, s, wl, pol, ratio)
 				if err != nil {
 					return nil, err
 				}

@@ -6,23 +6,19 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
-	"sync"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
+	hybridtier "repro"
 	"repro/internal/mem"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/tier"
 	"repro/internal/trace"
 	"repro/internal/workloads/cachelib"
-	"repro/internal/workloads/gap"
-	"repro/internal/workloads/silo"
-	"repro/internal/workloads/speccpu"
-	"repro/internal/workloads/xgboost"
 )
 
 // Scale selects experiment sizing. Quick keeps unit tests and `go test
@@ -99,73 +95,25 @@ func WorkloadNames() []string {
 	}
 }
 
-// graph cache: GAP graph construction dominates workload setup, and graphs
-// are immutable, so share them between kernel sources.
-var (
-	graphMu    sync.Mutex
-	graphCache = map[string]*gap.Graph{}
-)
-
-func cachedGraph(kind gap.GraphKind, scale, degree int, seed uint64) *gap.Graph {
-	key := fmt.Sprintf("%v-%d-%d-%d", kind, scale, degree, seed)
-	graphMu.Lock()
-	defer graphMu.Unlock()
-	if g, ok := graphCache[key]; ok {
-		return g
+// Params converts this scale's sizing knobs into the registry's workload
+// parameters for one seeded instance.
+func (s Scale) Params(seed uint64) registry.WorkloadParams {
+	return registry.WorkloadParams{
+		Seed:         seed,
+		CacheObjects: s.CacheLibObjects,
+		GraphScale:   s.GapScale,
+		GraphDegree:  s.GapDegree,
+		Cells:        s.SpecCells,
+		Records:      s.SiloRecords,
+		Rows:         s.XGBRows,
+		Features:     s.XGBFeatures,
 	}
-	g := kind.Build(scale, degree, seed)
-	graphCache[key] = g
-	return g
 }
 
 // Workload constructs a fresh, deterministic instance of the named
-// workload at this scale.
+// workload at this scale through the workload registry.
 func (s Scale) Workload(name string, seed uint64) (trace.Source, error) {
-	switch name {
-	case "cdn":
-		cfg := cachelib.CDN(seed)
-		cfg.Objects = s.CacheLibObjects
-		return cachelib.New(cfg)
-	case "social":
-		cfg := cachelib.SocialGraph(seed)
-		cfg.Objects = s.CacheLibObjects * 6
-		return cachelib.New(cfg)
-	case "bfs-kron", "bfs-urand", "cc-kron", "cc-urand", "pr-kron", "pr-urand":
-		var kernel gap.Kind
-		switch name[:2] {
-		case "bf":
-			kernel = gap.BFS
-		case "cc":
-			kernel = gap.CC
-		default:
-			kernel = gap.PR
-		}
-		kind := gap.Kron
-		if strings.HasSuffix(name, "urand") {
-			kind = gap.URand
-		}
-		g := cachedGraph(kind, s.GapScale, s.GapDegree, seed)
-		return gap.NewSourceFromGraph(kernel, g, "gap-"+name, seed), nil
-	case "bwaves":
-		cfg := speccpu.Bwaves(seed)
-		cfg.Cells = s.SpecCells
-		return speccpu.New(cfg), nil
-	case "roms":
-		cfg := speccpu.Roms(seed)
-		cfg.Cells = s.SpecCells * 3 / 2
-		return speccpu.New(cfg), nil
-	case "silo":
-		cfg := silo.Default(seed)
-		cfg.Records = s.SiloRecords
-		return silo.New(cfg)
-	case "xgboost":
-		cfg := xgboost.Default(seed)
-		cfg.Rows = s.XGBRows
-		cfg.Features = s.XGBFeatures
-		return xgboost.New(cfg)
-	default:
-		return nil, fmt.Errorf("experiments: unknown workload %q", name)
-	}
+	return registry.Workloads.New(name, s.Params(seed))
 }
 
 // ShiftingCacheLib builds the CDN or social-graph workload with the
@@ -189,46 +137,18 @@ func (s Scale) ShiftingCacheLib(name string, seed uint64, shiftOps int64) (trace
 }
 
 // PolicyNames lists the systems compared in Figures 9-10, in plot order.
+// Every entry must exist in the policy registry (enforced by test); the
+// full selectable set is registry.Policies.Names().
 func PolicyNames() []string {
 	return []string{"TPP", "AutoNUMA", "Memtis", "ARC", "TwoQ", "HybridTier"}
 }
 
-// Policy constructs the named tiering system for a page space and fast-tier
-// capacity, returning the policy and the first-touch allocation mode §5.2
-// prescribes for it. huge selects 2 MB-granularity configurations (§4.4).
+// Policy constructs the named tiering system through the policy registry
+// for a page space and fast-tier capacity, returning the policy and the
+// first-touch allocation mode §5.2 prescribes for it. huge selects
+// 2 MB-granularity configurations (§4.4).
 func Policy(name string, numPages, fastPages int, huge bool) (tier.Policy, mem.AllocMode, error) {
-	switch name {
-	case "HybridTier", "HybridTier-CBF", "HybridTier-onlyFreq":
-		cfg := core.DefaultConfig(fastPages)
-		if huge {
-			cfg.CounterBits = 16
-		}
-		cfg.Blocked = name != "HybridTier-CBF"
-		cfg.DisableMomentum = name == "HybridTier-onlyFreq"
-		p, err := core.New(cfg)
-		return p, mem.AllocFastFirst, err
-	case "Memtis":
-		return baselines.NewMemtis(baselines.DefaultMemtisConfig(numPages, fastPages)),
-			mem.AllocFastFirst, nil
-	case "AutoNUMA":
-		return baselines.NewAutoNUMA(baselines.DefaultAutoNUMAConfig(numPages)),
-			mem.AllocFastFirst, nil
-	case "TPP":
-		return baselines.NewTPP(baselines.DefaultTPPConfig(numPages)),
-			mem.AllocFastFirst, nil
-	case "ARC":
-		return baselines.NewARC(numPages, fastPages), mem.AllocSlow, nil
-	case "TwoQ":
-		return baselines.NewTwoQ(numPages, fastPages), mem.AllocSlow, nil
-	case "LRU":
-		return baselines.NewLRU(numPages, fastPages), mem.AllocSlow, nil
-	case "FirstTouch":
-		return baselines.NewStatic("FirstTouch"), mem.AllocFastFirst, nil
-	case "AllFast":
-		return baselines.NewStatic("AllFast"), mem.AllocFast, nil
-	default:
-		return nil, 0, fmt.Errorf("experiments: unknown policy %q", name)
-	}
+	return registry.Policies.New(name, numPages, fastPages, huge)
 }
 
 // fastPagesFor returns the fast-tier capacity for a 1:N ratio over a
@@ -241,34 +161,57 @@ func fastPagesFor(footprint, ratio int) int {
 	return f
 }
 
-// runOne builds and executes one simulation.
-func runOne(s Scale, workload, policy string, ratio int, ops int64, huge, appCache bool, seed uint64) (*sim.Result, error) {
-	w, err := s.Workload(workload, seed)
+// runOne builds and executes one simulation through the public facade.
+func runOne(ctx context.Context, s Scale, workload, policy string, ratio int, ops int64, huge, appCache bool, seed uint64) (*sim.Result, error) {
+	e := hybridtier.NewExperiment(
+		hybridtier.WithWorkloadName(workload),
+		hybridtier.WithWorkloadParams(s.Params(seed)),
+		hybridtier.WithPolicy(hybridtier.PolicyName(policy)),
+		hybridtier.WithRatio(ratio),
+		hybridtier.WithOps(ops),
+		hybridtier.WithHugePages(huge),
+		hybridtier.WithCacheModel(appCache),
+		hybridtier.WithSeed(seed),
+	)
+	return e.Run(ctx)
+}
+
+// sweep runs the policies × ratios cross product for one workload
+// concurrently through the facade's worker pool and returns the per-cell
+// results keyed by (policy, ratio). Every cell shares the given seed so
+// policies compare against the identical op stream.
+func sweep(ctx context.Context, s Scale, workload string, policies []string, ratios []int, ops int64, seed uint64, extra ...hybridtier.Option) (map[string]map[int]*sim.Result, error) {
+	pols := make([]hybridtier.PolicyName, len(policies))
+	for i, p := range policies {
+		pols[i] = hybridtier.PolicyName(p)
+	}
+	base := []hybridtier.Option{
+		hybridtier.WithWorkloadName(workload),
+		hybridtier.WithWorkloadParams(s.Params(seed)),
+		hybridtier.WithOps(ops),
+	}
+	sw := &hybridtier.Sweep{
+		Policies: pols,
+		Ratios:   ratios,
+		Seeds:    []uint64{seed},
+		Base:     append(base, extra...),
+	}
+	cells, err := sw.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
-	fast4k := fastPagesFor(w.NumPages(), ratio)
-	numPages, fastPages := w.NumPages(), fast4k
-	if huge {
-		numPages = (numPages + 511) / 512
-		fastPages = fast4k / 512
-		if fastPages < 4 {
-			fastPages = 4
+	out := make(map[string]map[int]*sim.Result, len(policies))
+	for _, c := range cells {
+		if c.Err != "" {
+			return nil, fmt.Errorf("experiments: %s %s 1:%d: %s", workload, c.Policy, c.Ratio, c.Err)
 		}
+		pol := string(c.Policy)
+		if out[pol] == nil {
+			out[pol] = make(map[int]*sim.Result, len(ratios))
+		}
+		out[pol][c.Ratio] = c.Result
 	}
-	p, alloc, err := Policy(policy, numPages, fastPages, huge)
-	if err != nil {
-		return nil, err
-	}
-	cfg := sim.DefaultConfig(w, p, fastPages)
-	cfg.Ops = ops
-	cfg.Alloc = alloc
-	cfg.AppCacheModel = appCache
-	cfg.Seed = seed
-	if huge {
-		cfg.PageBytes = mem.HugePageBytes
-	}
-	return sim.Run(cfg)
+	return out, nil
 }
 
 // Table is a formatted experiment result.
@@ -327,27 +270,28 @@ func dashes(widths []int) []string {
 	return out
 }
 
-// Experiment is one paper artifact regenerator.
+// Experiment is one paper artifact regenerator. Run observes ctx: long
+// sweeps stop promptly when it is canceled.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(s Scale) (*Table, error)
+	Run   func(ctx context.Context, s Scale) (*Table, error)
 }
 
-var registry []Experiment
+var experimentRegistry []Experiment
 
-func register(e Experiment) { registry = append(registry, e) }
+func register(e Experiment) { experimentRegistry = append(experimentRegistry, e) }
 
 // All returns every registered experiment sorted by ID.
 func All() []Experiment {
-	out := append([]Experiment(nil), registry...)
+	out := append([]Experiment(nil), experimentRegistry...)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // ByID finds an experiment by its ID ("fig9", "tab4", ...).
 func ByID(id string) (Experiment, bool) {
-	for _, e := range registry {
+	for _, e := range experimentRegistry {
 		if e.ID == id {
 			return e, true
 		}

@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+
+	"repro/internal/registry"
 )
 
 func TestAllWorkloadsConstruct(t *testing.T) {
@@ -42,6 +45,22 @@ func TestAllPoliciesConstruct(t *testing.T) {
 	}
 }
 
+// TestPlotOrderNamesRegistered pins the curated figure orderings to the
+// registries: every plot-order name must resolve, so the lists can never
+// drift from what is actually constructible.
+func TestPlotOrderNamesRegistered(t *testing.T) {
+	for _, name := range PolicyNames() {
+		if _, ok := registry.Policies.Lookup(name); !ok {
+			t.Errorf("PolicyNames entry %q not in the policy registry", name)
+		}
+	}
+	for _, name := range WorkloadNames() {
+		if _, ok := registry.Workloads.Lookup(name); !ok {
+			t.Errorf("WorkloadNames entry %q not in the workload registry", name)
+		}
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "fig3a", "fig3b", "fig4", "fig5",
@@ -70,7 +89,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tbl, err := e.Run(Tiny)
+			tbl, err := e.Run(context.Background(), Tiny)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

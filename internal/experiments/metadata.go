@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cbf"
@@ -18,7 +19,7 @@ func init() {
 // runTab4 reproduces Table 4: tiering-metadata bytes as a fraction of total
 // memory for Memtis (16 B per page, scales with capacity) vs HybridTier
 // (CBFs sized by the fast tier).
-func runTab4(s Scale) (*Table, error) {
+func runTab4(_ context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:      "tab4",
 		Title:   "Metadata size relative to total memory capacity",
@@ -57,7 +58,7 @@ func runTab4(s Scale) (*Table, error) {
 // migration decisions as the CBF shrinks. A decision is "would this page be
 // classified hot at the current threshold"; ground truth uses an exact
 // (saturating) counter per page, the methodology of §6.4.2.
-func runTab5(s Scale) (*Table, error) {
+func runTab5(_ context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:      "tab5",
 		Title:   "CBF hot/cold decision accuracy vs exact table (CacheLib 1:16)",
@@ -121,7 +122,7 @@ func runTab5(s Scale) (*Table, error) {
 // runFig16 reproduces Figure 16: cumulative distribution of 4-bit access
 // frequency counts across all twelve workloads, the data behind the 4-bit
 // counter-width justification (§6.4.2).
-func runFig16(s Scale) (*Table, error) {
+func runFig16(_ context.Context, s Scale) (*Table, error) {
 	labels := stats.CDFLabels()
 	cols := append([]string{"workload"}, labels[:]...)
 	t := &Table{

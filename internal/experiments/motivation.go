@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mem"
@@ -18,7 +19,7 @@ func init() {
 // and measure what fraction of it is still hot in each later interval. The
 // paper's intervals are minutes of wall time; ours are equal slices of the
 // operation stream.
-func runFig2(s Scale) (*Table, error) {
+func runFig2(_ context.Context, s Scale) (*Table, error) {
 	const intervals = 8
 	t := &Table{
 		ID:      "fig2",
@@ -122,7 +123,7 @@ func topDecile(counts map[mem.PageID]int) map[mem.PageID]bool {
 // runFig3a reproduces Figure 3a exactly: a page accessed 50 times per
 // minute for 10 minutes, EMA with decay 2 cooled every 2 minutes; the
 // score must lag the raw access rate for ~9 minutes after the page cools.
-func runFig3a(Scale) (*Table, error) {
+func runFig3a(context.Context, Scale) (*Table, error) {
 	const minute = int64(60_000_000_000)
 	e := stats.NewEMA(2, 2*minute)
 	t := &Table{
@@ -153,7 +154,7 @@ func runFig3a(Scale) (*Table, error) {
 // runFig3b reproduces Figure 3b: classify CacheLib pages as hot/warm/cold
 // from counters cooled at different periods; shorter periods misclassify
 // hot and warm pages as cold because counts never accumulate.
-func runFig3b(s Scale) (*Table, error) {
+func runFig3b(_ context.Context, s Scale) (*Table, error) {
 	periods := []struct {
 		label   string
 		samples int // 0 = Inf (never cool)

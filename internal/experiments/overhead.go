@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachesim"
@@ -18,14 +19,14 @@ func init() {
 // The workload footprint is floored so that per-page metadata exceeds the
 // modeled LLC — the regime §2.3.3 analyzes; below it every scheme trivially
 // fits in cache and the comparison degenerates.
-func cacheRun(s Scale, policy string, huge bool) (*sim.Result, error) {
+func cacheRun(ctx context.Context, s Scale, policy string, huge bool) (*sim.Result, error) {
 	if s.CacheLibObjects < 24_000 {
 		s.CacheLibObjects = 24_000
 	}
 	if s.Ops < 400_000 {
 		s.Ops = 400_000
 	}
-	return runOne(s, "cdn", policy, 4, s.Ops, huge, true, 41)
+	return runOne(ctx, s, "cdn", policy, 4, s.Ops, huge, true, 41)
 }
 
 func missRow(res *sim.Result) (l1Frac, llcFrac float64, l1Abs, llcAbs uint64) {
@@ -35,18 +36,18 @@ func missRow(res *sim.Result) (l1Frac, llcFrac float64, l1Abs, llcAbs uint64) {
 
 // runFig5 reproduces Figure 5: the fraction of all cache misses caused by
 // Memtis' tiering activity under regular and huge pages (CacheLib, 1:4).
-func runFig5(s Scale) (*Table, error) {
-	return cacheMissFigure(s, "fig5", "Memtis",
+func runFig5(ctx context.Context, s Scale) (*Table, error) {
+	return cacheMissFigure(ctx, s, "fig5", "Memtis",
 		"paper: Memtis consumes ~9% of L1 and ~18% of LLC misses (4KB); 13%/18% (2MB)")
 }
 
 // runFig13 reproduces Figure 13: the same measurement for HybridTier.
-func runFig13(s Scale) (*Table, error) {
-	return cacheMissFigure(s, "fig13", "HybridTier",
+func runFig13(ctx context.Context, s Scale) (*Table, error) {
+	return cacheMissFigure(ctx, s, "fig13", "HybridTier",
 		"paper: HybridTier averages 5% (4KB) and 4% (2MB) of total misses")
 }
 
-func cacheMissFigure(s Scale, id, policy, note string) (*Table, error) {
+func cacheMissFigure(ctx context.Context, s Scale, id, policy, note string) (*Table, error) {
 	t := &Table{
 		ID:      id,
 		Title:   fmt.Sprintf("%s tiering activity share of total cache misses (CacheLib 1:4)", policy),
@@ -54,7 +55,7 @@ func cacheMissFigure(s Scale, id, policy, note string) (*Table, error) {
 		Notes:   []string{note},
 	}
 	for _, huge := range []bool{false, true} {
-		res, err := cacheRun(s, policy, huge)
+		res, err := cacheRun(ctx, s, policy, huge)
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +72,7 @@ func cacheMissFigure(s Scale, id, policy, note string) (*Table, error) {
 // runFig14 reproduces Figure 14: total cache-miss reduction moving from
 // Memtis to a standard-CBF HybridTier to the blocked-CBF HybridTier,
 // normalized to Memtis (higher reduction = fewer misses).
-func runFig14(s Scale) (*Table, error) {
+func runFig14(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:      "fig14",
 		Title:   "Tiering cache-miss reduction vs Memtis (CacheLib 1:4, 4KB pages)",
@@ -83,7 +84,7 @@ func runFig14(s Scale) (*Table, error) {
 	type rec struct{ l1, llc uint64 }
 	recs := map[string]rec{}
 	for _, pol := range []string{"Memtis", "HybridTier-CBF", "HybridTier"} {
-		res, err := cacheRun(s, pol, false)
+		res, err := cacheRun(ctx, s, pol, false)
 		if err != nil {
 			return nil, err
 		}

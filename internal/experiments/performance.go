@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	hybridtier "repro"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -18,8 +20,9 @@ func init() {
 }
 
 // runFig9 reproduces Figure 9: CacheLib CDN and social-graph median latency
-// and throughput for all six systems across fast:slow ratios.
-func runFig9(s Scale) (*Table, error) {
+// and throughput for all six systems across fast:slow ratios. The
+// policy × ratio grid of each workload runs as one concurrent sweep.
+func runFig9(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:      "fig9",
 		Title:   "CacheLib P50 latency (µs) / throughput (Mop/s)",
@@ -31,12 +34,13 @@ func runFig9(s Scale) (*Table, error) {
 	type key struct{ wl, pol string }
 	lat := map[key][]float64{}
 	for _, wl := range []string{"cdn", "social"} {
+		grid, err := sweep(ctx, s, wl, PolicyNames(), s.Ratios, s.Ops, 33)
+		if err != nil {
+			return nil, err
+		}
 		for _, ratio := range s.Ratios {
 			for _, pol := range PolicyNames() {
-				res, err := runOne(s, wl, pol, ratio, s.Ops, false, false, 33)
-				if err != nil {
-					return nil, err
-				}
+				res := grid[pol][ratio]
 				t.AddRow(wl, fmt.Sprintf("1:%d", ratio), pol,
 					fmtUs(float64(res.MedianLatNs)), fmt.Sprintf("%.2f", res.ThroughputMops))
 				lat[key{wl, pol}] = append(lat[key{wl, pol}], float64(res.MedianLatNs))
@@ -62,8 +66,9 @@ func fig10Workloads() []string {
 
 // runFig10 reproduces Figure 10: runtime-relative performance normalized
 // against TPP (higher is better). Relative performance is the inverse ratio
-// of virtual completion times for the same operation count.
-func runFig10(s Scale) (*Table, error) {
+// of virtual completion times for the same operation count. Each
+// workload's policy × ratio grid runs as one concurrent sweep.
+func runFig10(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:      "fig10",
 		Title:   "Relative performance vs TPP (higher is better)",
@@ -74,18 +79,15 @@ func runFig10(s Scale) (*Table, error) {
 	}
 	rel := map[string][]float64{}
 	for _, wl := range fig10Workloads() {
+		grid, err := sweep(ctx, s, wl, PolicyNames(), s.Ratios, s.Ops, 33)
+		if err != nil {
+			return nil, err
+		}
 		for _, ratio := range s.Ratios {
-			times := map[string]float64{}
-			for _, pol := range PolicyNames() {
-				res, err := runOne(s, wl, pol, ratio, s.Ops, false, false, 33)
-				if err != nil {
-					return nil, err
-				}
-				times[pol] = float64(res.ElapsedNs)
-			}
 			row := []string{wl, fmt.Sprintf("1:%d", ratio)}
+			tpp := float64(grid["TPP"][ratio].ElapsedNs)
 			for _, pol := range PolicyNames() {
-				v := times["TPP"] / times[pol]
+				v := tpp / float64(grid[pol][ratio].ElapsedNs)
 				row = append(row, fmtRel(v))
 				rel[pol] = append(rel[pol], v)
 			}
@@ -102,7 +104,7 @@ func runFig10(s Scale) (*Table, error) {
 
 // runFig11 reproduces Figure 11: HybridTier normalized against a run with
 // every page in the fast tier — the tiering upper bound.
-func runFig11(s Scale) (*Table, error) {
+func runFig11(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:      "fig11",
 		Title:   "HybridTier relative to all-fast-tier (1.0 = upper bound)",
@@ -114,17 +116,17 @@ func runFig11(s Scale) (*Table, error) {
 	perRatio := map[int][]float64{}
 	workloads := append([]string{"cdn", "social"}, fig10Workloads()...)
 	for _, wl := range workloads {
-		base, err := runOne(s, wl, "AllFast", 4 /*ignored*/, s.Ops, false, false, 33)
+		base, err := runOne(ctx, s, wl, "AllFast", 4 /*ignored*/, s.Ops, false, false, 33)
+		if err != nil {
+			return nil, err
+		}
+		grid, err := sweep(ctx, s, wl, []string{"HybridTier"}, s.Ratios, s.Ops, 33)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{wl}
 		for _, ratio := range s.Ratios {
-			res, err := runOne(s, wl, "HybridTier", ratio, s.Ops, false, false, 33)
-			if err != nil {
-				return nil, err
-			}
-			v := float64(base.ElapsedNs) / float64(res.ElapsedNs)
+			v := float64(base.ElapsedNs) / float64(grid["HybridTier"][ratio].ElapsedNs)
 			perRatio[ratio] = append(perRatio[ratio], v)
 			row = append(row, fmtRel(v))
 		}
@@ -148,7 +150,8 @@ func ratioCols(s Scale) []string {
 
 // runFig12 reproduces Figure 12: 2 MB huge-page granularity, HybridTier
 // speedup over Memtis (§4.4: 16-bit counters, 512× fewer tracked pages).
-func runFig12(s Scale) (*Table, error) {
+// Both systems' ratio grids run as one concurrent sweep per workload.
+func runFig12(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:      "fig12",
 		Title:   "Huge-page (2MB) relative speedup of HybridTier over Memtis",
@@ -160,17 +163,14 @@ func runFig12(s Scale) (*Table, error) {
 	perRatio := map[int][]float64{}
 	workloads := append([]string{"cdn", "social"}, fig10Workloads()...)
 	for _, wl := range workloads {
+		grid, err := sweep(ctx, s, wl, []string{"HybridTier", "Memtis"}, s.Ratios, s.Ops, 33,
+			hybridtier.WithHugePages(true))
+		if err != nil {
+			return nil, err
+		}
 		row := []string{wl}
 		for _, ratio := range s.Ratios {
-			ht, err := runOne(s, wl, "HybridTier", ratio, s.Ops, true, false, 33)
-			if err != nil {
-				return nil, err
-			}
-			mt, err := runOne(s, wl, "Memtis", ratio, s.Ops, true, false, 33)
-			if err != nil {
-				return nil, err
-			}
-			v := float64(mt.ElapsedNs) / float64(ht.ElapsedNs)
+			v := float64(grid["Memtis"][ratio].ElapsedNs) / float64(grid["HybridTier"][ratio].ElapsedNs)
 			perRatio[ratio] = append(perRatio[ratio], v)
 			row = append(row, fmtRel(v))
 		}
@@ -186,7 +186,7 @@ func runFig12(s Scale) (*Table, error) {
 
 // runFig15 reproduces Figure 15: HybridTier with the momentum tracker
 // disabled (frequency-only), normalized against full HybridTier at 1:8.
-func runFig15(s Scale) (*Table, error) {
+func runFig15(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:      "fig15",
 		Title:   "Frequency-only ablation relative to full HybridTier (1:8)",
@@ -197,14 +197,12 @@ func runFig15(s Scale) (*Table, error) {
 	}
 	workloads := append([]string{"cdn", "social"}, "bfs-kron", "cc-kron", "pr-kron", "xgboost")
 	for _, wl := range workloads {
-		full, err := runOne(s, wl, "HybridTier", 8, s.Ops, false, false, 33)
+		grid, err := sweep(ctx, s, wl, []string{"HybridTier", "HybridTier-onlyFreq"}, []int{8}, s.Ops, 33)
 		if err != nil {
 			return nil, err
 		}
-		only, err := runOne(s, wl, "HybridTier-onlyFreq", 8, s.Ops, false, false, 33)
-		if err != nil {
-			return nil, err
-		}
+		full := grid["HybridTier"][8]
+		only := grid["HybridTier-onlyFreq"][8]
 		t.AddRow(wl, fmtRel(float64(full.ElapsedNs)/float64(only.ElapsedNs)))
 	}
 	return t, nil
@@ -212,7 +210,7 @@ func runFig15(s Scale) (*Table, error) {
 
 // runFig17 reproduces Figure 17: CacheLib performance as the momentum
 // threshold sweeps 1..6, normalized to the default threshold 3.
-func runFig17(s Scale) (*Table, error) {
+func runFig17(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:      "fig17",
 		Title:   "Momentum threshold sensitivity (normalized to threshold 3, 1:8)",
@@ -226,7 +224,7 @@ func runFig17(s Scale) (*Table, error) {
 	for _, wl := range []string{"cdn", "social"} {
 		results[wl] = map[uint32]metric{}
 		for th := uint32(1); th <= 6; th++ {
-			res, err := runMomentum(s, wl, th)
+			res, err := runMomentum(ctx, s, wl, th)
 			if err != nil {
 				return nil, err
 			}
@@ -244,7 +242,7 @@ func runFig17(s Scale) (*Table, error) {
 	return t, nil
 }
 
-func runMomentum(s Scale, wl string, threshold uint32) (*sim.Result, error) {
+func runMomentum(ctx context.Context, s Scale, wl string, threshold uint32) (*sim.Result, error) {
 	w, err := s.Workload(wl, 33)
 	if err != nil {
 		return nil, err
@@ -259,5 +257,6 @@ func runMomentum(s Scale, wl string, threshold uint32) (*sim.Result, error) {
 	cfg := sim.DefaultConfig(w, p, fast)
 	cfg.Ops = s.Ops
 	cfg.Seed = 33
+	cfg.Ctx = ctx
 	return sim.Run(cfg)
 }

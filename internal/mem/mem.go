@@ -97,11 +97,11 @@ var (
 
 // Stats counts migrations and placement events.
 type Stats struct {
-	Promotions   uint64
-	Demotions    uint64
-	FastAllocs   uint64
-	SlowAllocs   uint64
-	FailedPromos uint64
+	Promotions   uint64 `json:"promotions"`
+	Demotions    uint64 `json:"demotions"`
+	FastAllocs   uint64 `json:"fast_allocs"`
+	SlowAllocs   uint64 `json:"slow_allocs"`
+	FailedPromos uint64 `json:"failed_promos"`
 }
 
 // Memory is a two-tier page placement model. It is not safe for concurrent

@@ -59,10 +59,10 @@ func (c Config) Validate() error {
 
 // Stats counts sampler activity.
 type Stats struct {
-	Accesses uint64
-	Sampled  uint64
-	Dropped  uint64
-	Drained  uint64
+	Accesses uint64 `json:"accesses"`
+	Sampled  uint64 `json:"sampled"`
+	Dropped  uint64 `json:"dropped"`
+	Drained  uint64 `json:"drained"`
 }
 
 // Sampler subsamples an access stream into a bounded ring buffer.

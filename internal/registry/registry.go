@@ -1,0 +1,215 @@
+// Package registry holds the process-wide policy and workload registries
+// the public facade exposes. It is a leaf package so that policy packages
+// (internal/core, internal/baselines) and workload packages can register
+// their named constructors from init functions without importing the
+// facade, and the facade, the experiment harness, and the CLIs can all
+// resolve names through one authoritative table instead of hand-maintained
+// switch statements.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/tier"
+	"repro/internal/trace"
+)
+
+// PolicyFactory builds one policy instance for a page space of numPages
+// with a fast tier of fastPages, returning the policy and the first-touch
+// allocation mode the paper's methodology (§5.2) prescribes for it. huge
+// selects 2 MB-granularity configurations (§4.4).
+type PolicyFactory func(numPages, fastPages int, huge bool) (tier.Policy, mem.AllocMode, error)
+
+// PolicyEntry is one registered tiering system.
+type PolicyEntry struct {
+	// Name is the registry key ("HybridTier", "Memtis", ...).
+	Name string
+	// Doc is a one-line description shown by CLI listings.
+	Doc string
+	// New constructs an instance.
+	New PolicyFactory
+}
+
+// PolicyRegistry maps policy names to constructors. The zero value is not
+// usable; call NewPolicyRegistry. All methods are safe for concurrent use.
+type PolicyRegistry struct {
+	mu      sync.RWMutex
+	entries map[string]PolicyEntry
+}
+
+// NewPolicyRegistry returns an empty registry.
+func NewPolicyRegistry() *PolicyRegistry {
+	return &PolicyRegistry{entries: map[string]PolicyEntry{}}
+}
+
+// Register adds an entry. Empty names and duplicates are errors.
+func (r *PolicyRegistry) Register(e PolicyEntry) error {
+	if e.Name == "" || e.New == nil {
+		return fmt.Errorf("registry: policy entry needs a name and a constructor")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.Name]; dup {
+		return fmt.Errorf("registry: policy %q registered twice", e.Name)
+	}
+	r.entries[e.Name] = e
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for init-time use.
+func (r *PolicyRegistry) MustRegister(e PolicyEntry) {
+	if err := r.Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds an entry by name.
+func (r *PolicyRegistry) Lookup(name string) (PolicyEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// New constructs the named policy, or an error naming the known policies
+// when the name is not registered.
+func (r *PolicyRegistry) New(name string, numPages, fastPages int, huge bool) (tier.Policy, mem.AllocMode, error) {
+	e, ok := r.Lookup(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("registry: unknown policy %q (known: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return e.New(numPages, fastPages, huge)
+}
+
+// Names returns every registered policy name, sorted.
+func (r *PolicyRegistry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WorkloadParams sizes a workload instance. Factories read the fields that
+// apply to them and fall back to their package defaults on zero values, so
+// a zero WorkloadParams (plus a seed) always produces a working instance.
+type WorkloadParams struct {
+	// Seed makes the instance deterministic.
+	Seed uint64
+
+	// Pages and Skew size the synthetic Zipf sources.
+	Pages int
+	Skew  float64
+
+	// CacheObjects is the CacheLib base object count ("social" scales it).
+	CacheObjects int
+
+	// GraphScale and GraphDegree size the GAP input graphs (2^scale
+	// vertices, degree*2^scale edges).
+	GraphScale  int
+	GraphDegree int
+
+	// Cells is the SPEC CPU base cell count ("roms" scales it).
+	Cells int
+
+	// Records is the Silo B+tree record count.
+	Records int
+
+	// Rows and Features size the XGBoost training matrix.
+	Rows     int
+	Features int
+}
+
+// WorkloadFactory builds one workload instance from params.
+type WorkloadFactory func(p WorkloadParams) (trace.Source, error)
+
+// WorkloadEntry is one registered workload generator.
+type WorkloadEntry struct {
+	// Name is the registry key ("cdn", "bfs-kron", ...).
+	Name string
+	// Doc is a one-line description shown by CLI listings.
+	Doc string
+	// New constructs an instance.
+	New WorkloadFactory
+}
+
+// WorkloadRegistry maps workload names to constructors. The zero value is
+// not usable; call NewWorkloadRegistry. All methods are safe for
+// concurrent use.
+type WorkloadRegistry struct {
+	mu      sync.RWMutex
+	entries map[string]WorkloadEntry
+}
+
+// NewWorkloadRegistry returns an empty registry.
+func NewWorkloadRegistry() *WorkloadRegistry {
+	return &WorkloadRegistry{entries: map[string]WorkloadEntry{}}
+}
+
+// Register adds an entry. Empty names and duplicates are errors.
+func (r *WorkloadRegistry) Register(e WorkloadEntry) error {
+	if e.Name == "" || e.New == nil {
+		return fmt.Errorf("registry: workload entry needs a name and a constructor")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.Name]; dup {
+		return fmt.Errorf("registry: workload %q registered twice", e.Name)
+	}
+	r.entries[e.Name] = e
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for init-time use.
+func (r *WorkloadRegistry) MustRegister(e WorkloadEntry) {
+	if err := r.Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds an entry by name.
+func (r *WorkloadRegistry) Lookup(name string) (WorkloadEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// New constructs the named workload, or an error naming the known
+// workloads when the name is not registered.
+func (r *WorkloadRegistry) New(name string, p WorkloadParams) (trace.Source, error) {
+	e, ok := r.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown workload %q (known: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return e.New(p)
+}
+
+// Names returns every registered workload name, sorted.
+func (r *WorkloadRegistry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Policies is the process-wide policy registry. internal/core and
+// internal/baselines self-register into it from init.
+var Policies = NewPolicyRegistry()
+
+// Workloads is the process-wide workload registry. The workload packages
+// self-register into it from init.
+var Workloads = NewWorkloadRegistry()

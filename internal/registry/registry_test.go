@@ -1,0 +1,102 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/tier"
+	"repro/internal/trace"
+)
+
+func stubPolicy(name string) PolicyEntry {
+	return PolicyEntry{
+		Name: name,
+		New: func(int, int, bool) (tier.Policy, mem.AllocMode, error) {
+			return nil, mem.AllocFastFirst, nil
+		},
+	}
+}
+
+func stubWorkload(name string) WorkloadEntry {
+	return WorkloadEntry{
+		Name: name,
+		New: func(p WorkloadParams) (trace.Source, error) {
+			return trace.NewZipfSource(name, 64, 1.0, 0, p.Seed), nil
+		},
+	}
+}
+
+func TestPolicyRegistryRegisterErrors(t *testing.T) {
+	r := NewPolicyRegistry()
+	if err := r.Register(PolicyEntry{}); err == nil {
+		t.Error("empty entry must fail")
+	}
+	if err := r.Register(stubPolicy("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(stubPolicy("A")); err == nil {
+		t.Error("duplicate registration must fail")
+	}
+}
+
+func TestPolicyRegistryUnknownNameError(t *testing.T) {
+	r := NewPolicyRegistry()
+	r.MustRegister(stubPolicy("Known"))
+	_, _, err := r.New("Nope", 100, 10, false)
+	if err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+	if !strings.Contains(err.Error(), `"Nope"`) || !strings.Contains(err.Error(), "Known") {
+		t.Errorf("error should name the unknown and the known policies: %v", err)
+	}
+}
+
+func TestPolicyRegistryNamesSorted(t *testing.T) {
+	r := NewPolicyRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.MustRegister(stubPolicy(n))
+	}
+	got := r.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWorkloadRegistryRoundTrip(t *testing.T) {
+	r := NewWorkloadRegistry()
+	if err := r.Register(WorkloadEntry{Name: "w"}); err == nil {
+		t.Error("entry without constructor must fail")
+	}
+	r.MustRegister(stubWorkload("w"))
+	if err := r.Register(stubWorkload("w")); err == nil {
+		t.Error("duplicate registration must fail")
+	}
+	w, err := r.New("w", WorkloadParams{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumPages() != 64 {
+		t.Errorf("NumPages = %d", w.NumPages())
+	}
+	if _, err := r.New("missing", WorkloadParams{}); err == nil ||
+		!strings.Contains(err.Error(), `"missing"`) {
+		t.Errorf("unknown workload error should name it, got %v", err)
+	}
+}
+
+func TestGlobalRegistriesPopulated(t *testing.T) {
+	// The facade's blank imports are what guarantee registration for
+	// downstream users; this package only sees entries registered by
+	// packages imported from this test binary. The globals must at least
+	// exist and be usable.
+	if Policies == nil || Workloads == nil {
+		t.Fatal("global registries must be initialized")
+	}
+}

@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachesim"
@@ -76,6 +77,15 @@ type Config struct {
 	LatHistMaxNs int64
 	// Seed drives the simulator's internal randomness (address offsets).
 	Seed uint64
+	// Ctx, when non-nil, is polled in the op loop; cancellation stops the
+	// run promptly with a *CanceledError.
+	Ctx context.Context
+	// Progress, when non-nil, is called from the op loop with (done, total)
+	// operation counts every ProgressEvery ops and once at completion. It
+	// runs on the simulation goroutine and must be cheap.
+	Progress func(done, total int64)
+	// ProgressEvery is the Progress callback period in ops (default 65536).
+	ProgressEvery int64
 }
 
 // DefaultConfig returns simulation parameters for a workload and policy at
@@ -124,45 +134,66 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Result carries everything the experiment harness reports.
+// Result carries everything the experiment harness reports. Its JSON shape
+// (snake_case keys, fixed field set) is part of the public API: sweep
+// output is meant to be archived and diffed, so fields must not be renamed
+// and new fields should be appended.
 type Result struct {
-	Workload string
-	Policy   string
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
 
-	Ops       int64
-	ElapsedNs int64
+	Ops       int64 `json:"ops"`
+	ElapsedNs int64 `json:"elapsed_ns"`
 	// MedianLatNs / MeanLatNs / P99LatNs summarize per-op latency.
-	MedianLatNs int64
-	MeanLatNs   float64
-	P99LatNs    int64
+	MedianLatNs int64   `json:"median_lat_ns"`
+	MeanLatNs   float64 `json:"mean_lat_ns"`
+	P99LatNs    int64   `json:"p99_lat_ns"`
 	// ThroughputMops is operations per virtual second, in millions.
-	ThroughputMops float64
+	ThroughputMops float64 `json:"throughput_mops"`
 	// Series is the windowed median-latency time series (Fig. 4).
-	Series []stats.SeriesPoint
+	Series []stats.SeriesPoint `json:"series,omitempty"`
 	// SlowSeries tracks the per-window share of accesses served from the
 	// slow tier, in tenths of a percent (Mean field; 1000 = all slow).
 	// It is the noise-free placement-quality signal behind the latency
 	// curves, used for adaptation-time measurement.
-	SlowSeries []stats.SeriesPoint
+	SlowSeries []stats.SeriesPoint `json:"slow_series,omitempty"`
 	// ShiftNs is the virtual time of the workload's distribution change
 	// (-1 when none fired).
-	ShiftNs int64
+	ShiftNs int64 `json:"shift_ns"`
 
 	// TieringBusyNs is CPU time the tiering thread consumed.
-	TieringBusyNs float64
+	TieringBusyNs float64 `json:"tiering_busy_ns"`
 	// MetadataBytes is the policy's final metadata footprint.
-	MetadataBytes int64
+	MetadataBytes int64 `json:"metadata_bytes"`
 	// Faults is the number of hint faults delivered.
-	Faults uint64
+	Faults uint64 `json:"faults"`
 
-	Mem  mem.Stats
-	Pebs pebs.Stats
+	Mem  mem.Stats  `json:"mem"`
+	Pebs pebs.Stats `json:"pebs"`
 	// L1 / LLC are cache statistics (only meaningful when the cache models
 	// are enabled).
-	L1, LLC cachesim.Stats
+	L1  cachesim.Stats `json:"l1"`
+	LLC cachesim.Stats `json:"llc"`
 	// FastFinal is the fast-tier occupancy at the end of the run.
-	FastFinal int
+	FastFinal int `json:"fast_final"`
 }
+
+// CanceledError reports a run stopped early by Config.Ctx. It records how
+// far the run got; errors.Is(err, context.Canceled) (or DeadlineExceeded)
+// sees through it via Unwrap.
+type CanceledError struct {
+	// OpsDone is the number of operations completed before cancellation.
+	OpsDone int64
+	// Err is the context's error.
+	Err error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled after %d ops: %v", e.OpsDone, e.Err)
+}
+
+// Unwrap returns the underlying context error.
+func (e *CanceledError) Unwrap() error { return e.Err }
 
 // env implements tier.Env for a run.
 type env struct {
@@ -307,8 +338,24 @@ func Run(cfg Config) (*Result, error) {
 	batch := make([]tier.Sample, 0, cfg.BatchDrain*2)
 	var buf []trace.Access
 	nextTick := cfg.TickNs
+	progressEvery := cfg.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 65536
+	}
+
+	// cancelCheckEvery bounds cancellation latency to a few thousand ops
+	// without putting a context poll on every operation.
+	const cancelCheckEvery = 1024
 
 	for op := int64(0); op < cfg.Ops; op++ {
+		if cfg.Ctx != nil && op%cancelCheckEvery == 0 {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, &CanceledError{OpsDone: op, Err: err}
+			}
+		}
+		if cfg.Progress != nil && op%progressEvery == 0 && op > 0 {
+			cfg.Progress(op, cfg.Ops)
+		}
 		buf = cfg.Workload.NextOp(buf[:0])
 		opLat := 0.0
 		for _, a := range buf {
@@ -368,6 +415,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	if cfg.Progress != nil {
+		cfg.Progress(cfg.Ops, cfg.Ops)
+	}
 	res := &Result{
 		Workload:       cfg.Workload.Name(),
 		Policy:         cfg.Policy.Name(),

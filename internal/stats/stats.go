@@ -259,10 +259,10 @@ type TimeSeries struct {
 
 // SeriesPoint is one aggregated window of a TimeSeries.
 type SeriesPoint struct {
-	Time   int64 // window start, virtual ns
-	Median int64
-	Mean   float64
-	Count  uint64
+	Time   int64   `json:"time"` // window start, virtual ns
+	Median int64   `json:"median"`
+	Mean   float64 `json:"mean"`
+	Count  uint64  `json:"count"`
 }
 
 // NewTimeSeries creates a series with the given window duration (virtual ns)

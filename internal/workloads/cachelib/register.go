@@ -1,0 +1,32 @@
+package cachelib
+
+import (
+	"repro/internal/registry"
+	"repro/internal/trace"
+)
+
+// init self-registers the two CacheLib production profiles of Table 2.
+// The social-graph profile keeps its 6× object-count ratio over the CDN
+// profile so one CacheObjects knob scales both coherently.
+func init() {
+	registry.Workloads.MustRegister(registry.WorkloadEntry{
+		Name: "cdn", Doc: "CacheLib CDN: large objects, moderate skew, read-heavy",
+		New: func(p registry.WorkloadParams) (trace.Source, error) {
+			cfg := CDN(p.Seed)
+			if p.CacheObjects > 0 {
+				cfg.Objects = p.CacheObjects
+			}
+			return New(cfg)
+		},
+	})
+	registry.Workloads.MustRegister(registry.WorkloadEntry{
+		Name: "social", Doc: "CacheLib social graph: many small objects, high skew",
+		New: func(p registry.WorkloadParams) (trace.Source, error) {
+			cfg := SocialGraph(p.Seed)
+			if p.CacheObjects > 0 {
+				cfg.Objects = p.CacheObjects * 6
+			}
+			return New(cfg)
+		},
+	})
+}

@@ -1,0 +1,73 @@
+package gap
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/registry"
+	"repro/internal/trace"
+)
+
+// Graph construction dominates workload setup and graphs are immutable
+// once built, so instances are shared between kernel sources and across
+// concurrent sweep cells.
+var (
+	sharedMu     sync.Mutex
+	sharedGraphs = map[string]*Graph{}
+)
+
+// SharedGraph returns a cached graph for (kind, scale, degree, seed),
+// building it on first use. It is safe for concurrent use.
+func SharedGraph(kind GraphKind, scale, degree int, seed uint64) *Graph {
+	key := fmt.Sprintf("%v-%d-%d-%d", kind, scale, degree, seed)
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if g, ok := sharedGraphs[key]; ok {
+		return g
+	}
+	g := kind.Build(scale, degree, seed)
+	sharedGraphs[key] = g
+	return g
+}
+
+// init self-registers the six GAP workloads of Table 2: three kernels over
+// the Kronecker and uniform-random graph families.
+func init() {
+	kernels := []struct {
+		prefix string
+		kernel Kind
+		doc    string
+	}{
+		{"bfs", BFS, "breadth-first search, fresh random source per trial"},
+		{"cc", CC, "connected components by label propagation"},
+		{"pr", PR, "PageRank power iterations"},
+	}
+	graphs := []struct {
+		suffix string
+		kind   GraphKind
+	}{
+		{"kron", Kron},
+		{"urand", URand},
+	}
+	for _, k := range kernels {
+		for _, g := range graphs {
+			k, g := k, g
+			name := k.prefix + "-" + g.suffix
+			registry.Workloads.MustRegister(registry.WorkloadEntry{
+				Name: name,
+				Doc:  fmt.Sprintf("GAP %s over a %v graph", k.doc, g.kind),
+				New: func(p registry.WorkloadParams) (trace.Source, error) {
+					scale, degree := p.GraphScale, p.GraphDegree
+					if scale <= 0 {
+						scale = 14
+					}
+					if degree <= 0 {
+						degree = 8
+					}
+					graph := SharedGraph(g.kind, scale, degree, p.Seed)
+					return NewSourceFromGraph(k.kernel, graph, "gap-"+name, p.Seed), nil
+				},
+			})
+		}
+	}
+}

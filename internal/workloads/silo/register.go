@@ -1,0 +1,20 @@
+package silo
+
+import (
+	"repro/internal/registry"
+	"repro/internal/trace"
+)
+
+// init self-registers the Silo database workload of Table 2.
+func init() {
+	registry.Workloads.MustRegister(registry.WorkloadEntry{
+		Name: "silo", Doc: "Silo-style B+tree engine under YCSB-C",
+		New: func(p registry.WorkloadParams) (trace.Source, error) {
+			cfg := Default(p.Seed)
+			if p.Records > 0 {
+				cfg.Records = p.Records
+			}
+			return New(cfg)
+		},
+	})
+}

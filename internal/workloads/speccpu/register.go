@@ -1,0 +1,31 @@
+package speccpu
+
+import (
+	"repro/internal/registry"
+	"repro/internal/trace"
+)
+
+// init self-registers the two SPEC CPU proxies of Table 2. roms keeps its
+// 3/2 cell-count ratio over bwaves so one Cells knob scales both.
+func init() {
+	registry.Workloads.MustRegister(registry.WorkloadEntry{
+		Name: "bwaves", Doc: "603.bwaves_s proxy: blocked solver sweeps over 5 arrays",
+		New: func(p registry.WorkloadParams) (trace.Source, error) {
+			cfg := Bwaves(p.Seed)
+			if p.Cells > 0 {
+				cfg.Cells = p.Cells
+			}
+			return New(cfg), nil
+		},
+	})
+	registry.Workloads.MustRegister(registry.WorkloadEntry{
+		Name: "roms", Doc: "654.roms_s proxy: plane-by-plane sweeps over 7 arrays",
+		New: func(p registry.WorkloadParams) (trace.Source, error) {
+			cfg := Roms(p.Seed)
+			if p.Cells > 0 {
+				cfg.Cells = p.Cells * 3 / 2
+			}
+			return New(cfg), nil
+		},
+	})
+}

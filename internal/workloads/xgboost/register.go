@@ -1,0 +1,23 @@
+package xgboost
+
+import (
+	"repro/internal/registry"
+	"repro/internal/trace"
+)
+
+// init self-registers the XGBoost training workload of Table 2.
+func init() {
+	registry.Workloads.MustRegister(registry.WorkloadEntry{
+		Name: "xgboost", Doc: "gradient-boosting training over a feature-binned matrix",
+		New: func(p registry.WorkloadParams) (trace.Source, error) {
+			cfg := Default(p.Seed)
+			if p.Rows > 0 {
+				cfg.Rows = p.Rows
+			}
+			if p.Features > 0 {
+				cfg.Features = p.Features
+			}
+			return New(cfg)
+		},
+	})
+}

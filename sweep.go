@@ -1,0 +1,173 @@
+package hybridtier
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cell identifies one point of a sweep's cross product.
+type Cell struct {
+	// Index is the cell's position in the deterministic policy-major
+	// enumeration order.
+	Index int `json:"index"`
+	// Policy, Ratio, and Seed are the cell's coordinates.
+	Policy PolicyName `json:"policy"`
+	Ratio  int        `json:"ratio"`
+	Seed   uint64     `json:"seed"`
+}
+
+// CellResult is one executed cell. Exactly one of Result and Err is set.
+type CellResult struct {
+	Cell
+	Result *Result `json:"result,omitempty"`
+	Err    string  `json:"error,omitempty"`
+}
+
+// Sweep runs the cross product of Policies × Ratios × Seeds concurrently
+// across a worker pool. Every cell is an independent Experiment built from
+// Base plus the cell's coordinates, with both the workload instance and
+// the simulator seeded from the cell's seed — so results are fully
+// deterministic: the same sweep produces identical Results (and identical
+// JSON bytes) regardless of Workers or scheduling.
+type Sweep struct {
+	// Policies, Ratios, and Seeds span the cross product. Empty Ratios
+	// defaults to {8}; empty Seeds defaults to {1}; Policies is required.
+	Policies []PolicyName
+	Ratios   []int
+	Seeds    []uint64
+	// Base is the option set shared by every cell: the workload
+	// (WithWorkloadName or WithWorkloadFunc — WithWorkload is rejected
+	// because one mutable source cannot be shared across cells), op
+	// count, huge pages, and so on.
+	Base []Option
+	// Workers bounds concurrent cells (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// Progress, when non-nil, is called after each cell completes with the
+	// number of finished cells and the total. Calls are serialized.
+	Progress func(done, total int)
+}
+
+// Cells enumerates the cross product in deterministic policy-major order.
+func (s *Sweep) Cells() []Cell {
+	ratios := s.Ratios
+	if len(ratios) == 0 {
+		ratios = []int{8}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	cells := make([]Cell, 0, len(s.Policies)*len(ratios)*len(seeds))
+	for _, pol := range s.Policies {
+		for _, ratio := range ratios {
+			for _, seed := range seeds {
+				cells = append(cells, Cell{
+					Index: len(cells), Policy: pol, Ratio: ratio, Seed: seed,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// experimentFor builds the cell's experiment from Base plus coordinates.
+func (s *Sweep) experimentFor(c Cell) *Experiment {
+	opts := make([]Option, 0, len(s.Base)+3)
+	opts = append(opts, s.Base...)
+	opts = append(opts, WithPolicy(c.Policy), WithRatio(c.Ratio), WithSeed(c.Seed))
+	return NewExperiment(opts...)
+}
+
+// errCellNotRun marks cells the sweep never started before cancellation.
+const errCellNotRun = "sweep canceled before this cell ran"
+
+// Run executes every cell and returns results in Cells order. Per-cell
+// failures are recorded in CellResult.Err and do not stop the sweep; the
+// returned error is non-nil only for configuration errors or context
+// cancellation. On cancellation the partial results are still returned:
+// completed cells carry their Result, interrupted cells a cancellation
+// error, and never-started cells errCellNotRun.
+func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
+	if len(s.Policies) == 0 {
+		return nil, fmt.Errorf("hybridtier: sweep needs at least one policy")
+	}
+	if probe := NewExperiment(s.Base...); probe.workload != nil {
+		return nil, fmt.Errorf("hybridtier: sweep cells cannot share one workload instance; " +
+			"use WithWorkloadName or WithWorkloadFunc instead of WithWorkload")
+	}
+	cells := s.Cells()
+	// Zero coordinates would be silently rewritten by NewExperiment's
+	// defaulting, making the reported cell lie about what ran; reject them
+	// up front so archived results always match their labels.
+	for _, c := range cells {
+		if c.Seed == 0 {
+			return nil, fmt.Errorf("hybridtier: sweep seeds must be nonzero")
+		}
+		if c.Ratio <= 0 {
+			return nil, fmt.Errorf("hybridtier: sweep ratios must be positive, got %d", c.Ratio)
+		}
+	}
+	results := make([]CellResult, len(cells))
+	for i := range cells {
+		results[i] = CellResult{Cell: cells[i], Err: errCellNotRun}
+	}
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	var (
+		done    atomic.Int64
+		progMu  sync.Mutex
+		wg      sync.WaitGroup
+		jobs    = make(chan int)
+		ctxDone = ctx.Done()
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				c := cells[idx]
+				res, err := s.experimentFor(c).Run(ctx)
+				cr := CellResult{Cell: c, Result: res}
+				if err != nil {
+					cr.Result = nil
+					cr.Err = err.Error()
+				}
+				results[idx] = cr
+				n := int(done.Add(1))
+				if s.Progress != nil {
+					progMu.Lock()
+					s.Progress(n, len(cells))
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for idx := range cells {
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- idx:
+		case <-ctxDone:
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("hybridtier: sweep canceled after %d/%d cells: %w",
+			done.Load(), len(cells), err)
+	}
+	return results, nil
+}
