@@ -9,9 +9,18 @@
 //	htiersim [-workload cdn] [-policy HybridTier,Memtis] [-ratio 8,16]
 //	         [-seed 1,2,3] [-ops 1000000] [-huge] [-cache]
 //	         [-scale tiny|quick|full] [-workers N] [-json] [-series] [-list]
+//	         [-record run.htrc] [-replay run.htrc] [-trace-info run.htrc]
 //
 // Workloads and policies are resolved through the public registries, so
 // -list can never drift from what actually runs. Ctrl-C cancels promptly.
+//
+// Trace capture and replay (docs/TRACE_FORMAT.md): -record captures a
+// single run's op stream to a trace file (".gz" compresses it), -replay
+// drives the sweep from a recorded file instead of a generator — replaying
+// under the recorded policy/ratio/seed reproduces the live run's -json
+// output byte for byte — and -trace-info inspects a file without running
+// anything. A trace also resolves anywhere a workload name is accepted as
+// "trace:<path>".
 package main
 
 import (
@@ -27,6 +36,8 @@ import (
 	hybridtier "repro"
 	"repro/internal/experiments"
 	"repro/internal/mem"
+	"repro/internal/registry"
+	"repro/internal/tracefile"
 )
 
 func main() {
@@ -42,7 +53,15 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	series := flag.Bool("series", false, "print the latency time series (single run only)")
 	list := flag.Bool("list", false, "list workloads and policies")
+	record := flag.String("record", "", "capture the run's op stream to this trace file (single run only)")
+	replay := flag.String("replay", "", "replay this trace file as the workload")
+	traceInfo := flag.String("trace-info", "", "print a trace file's header and counts, then exit")
 	flag.Parse()
+
+	if *traceInfo != "" {
+		printTraceInfo(*traceInfo)
+		return
+	}
 
 	if *list {
 		fmt.Println("workloads:")
@@ -83,20 +102,48 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	single := len(policies) == 1 && len(ratios) == 1 && len(seeds) == 1
+	// -replay and the "trace:<path>" workload-name form are the same
+	// thing; normalize so both get the replay defaults.
+	tracePath := *replay
+	if tracePath == "" {
+		if p, ok := strings.CutPrefix(*workload, registry.TraceScheme); ok {
+			tracePath = p
+		}
+	} else if flagWasSet("workload") {
+		fatalf(2, "-workload and -replay conflict: the trace file is the workload")
+	}
+	workloadOpt := hybridtier.WithWorkloadName(*workload)
+	if tracePath != "" {
+		workloadOpt = hybridtier.WithTraceFile(tracePath)
+	}
+
+	base := []hybridtier.Option{
+		workloadOpt,
+		hybridtier.WithWorkloadParams(scale.Params(seeds[0])),
+		hybridtier.WithHugePages(*huge),
+		hybridtier.WithCacheModel(*cache),
+	}
+	// For a trace the library defaults to the recorded length (a longer
+	// replay would wrap around to the trace's start), so the flag default
+	// must not override it; pass -ops only when the user chose a length.
+	if tracePath == "" || flagWasSet("ops") {
+		base = append(base, hybridtier.WithOps(*ops))
+	}
+
 	sw := &hybridtier.Sweep{
 		Policies: policies,
 		Ratios:   ratios,
 		Seeds:    seeds,
 		Workers:  *workers,
-		Base: []hybridtier.Option{
-			hybridtier.WithWorkloadName(*workload),
-			hybridtier.WithWorkloadParams(scale.Params(seeds[0])),
-			hybridtier.WithOps(*ops),
-			hybridtier.WithHugePages(*huge),
-			hybridtier.WithCacheModel(*cache),
-		},
+		Base:     base,
 	}
-	single := len(policies) == 1 && len(ratios) == 1 && len(seeds) == 1
+	if *record != "" {
+		if !single {
+			fatalf(2, "-record needs a single policy/ratio/seed cell, not a sweep")
+		}
+		sw.Base = append(sw.Base, hybridtier.WithRecordTo(*record))
+	}
 	if !single && !*jsonOut {
 		sw.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rhtiersim: %d/%d cells", done, total)
@@ -241,6 +288,49 @@ func splitSeeds(s string) ([]uint64, error) {
 		return nil, fmt.Errorf("empty list")
 	}
 	return out, nil
+}
+
+// flagWasSet reports whether the named flag appeared on the command line
+// (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// printTraceInfo renders a trace file's header and stream summary. A
+// truncated or corrupt body still prints what was decodable, then exits
+// nonzero with the error.
+func printTraceInfo(path string) {
+	info, err := tracefile.Stat(path)
+	// The format requires numPages >= 1, so a zero value means the header
+	// never parsed and there is nothing to print.
+	if err != nil && info.NumPages == 0 {
+		fatalf(2, "%v", err)
+	}
+	fmt.Printf("file           %s\n", path)
+	fmt.Printf("workload       %s\n", info.Name)
+	fmt.Printf("pages          %d (%.1f MB at 4 KB)\n",
+		info.NumPages, float64(info.NumPages)*float64(mem.RegularPageBytes)/(1<<20))
+	fmt.Printf("seed           %d\n", info.Seed)
+	fmt.Printf("compressed     %v\n", info.Compressed)
+	fmt.Printf("shift-capable  %v\n", info.Shift)
+	fmt.Printf("ops            %d (%d page accesses)\n", info.Ops, info.Accesses)
+	if info.EndNs >= 0 {
+		fmt.Printf("virtual end    %.1f ms\n", float64(info.EndNs)/1e6)
+	}
+	if info.Shifts > 0 {
+		fmt.Printf("shifts         %d (last at %.1f virtual ms)\n",
+			info.Shifts, float64(info.ShiftNs)/1e6)
+	}
+	fmt.Printf("clean end      %v\n", info.Clean)
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
 }
 
 func fatalf(code int, format string, args ...any) {

@@ -1,10 +1,19 @@
-// Command tracegen dumps a workload's page-access stream as CSV
-// (op,page,write), for inspecting generator behaviour or feeding external
-// tools. Traces can be large; pipe to a file or use -ops to bound them.
+// Command tracegen dumps a workload's page-access stream, either as CSV
+// (op,page,write) for eyeballing and external tools, or as a binary trace
+// file (docs/TRACE_FORMAT.md) that replays as a first-class workload via
+// htiersim -replay or the "trace:<path>" workload name. Traces can be
+// large; use -ops to bound them, and a ".gz" -o suffix to compress binary
+// output.
 //
 // Usage:
 //
 //	tracegen -workload pr-kron -ops 10000 [-scale quick|full] [-seed 1]
+//	         [-format csv|bin] [-o out.htrc]
+//
+// Generator-dumped binary traces carry no virtual-time or shift marks —
+// only a simulation assigns virtual time, so a shift-capable generator's
+// shift is baked into the accesses without a timestamp. Capture a live
+// run (htiersim -record) when shift timing must survive replay.
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/trace"
+	"repro/internal/tracefile"
 )
 
 func main() {
@@ -23,6 +33,8 @@ func main() {
 	ops := flag.Int64("ops", 10_000, "operations to emit")
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
+	format := flag.String("format", "csv", "output format: csv or bin")
+	out := flag.String("o", "", "output path (default stdout; required for -format bin)")
 	flag.Parse()
 
 	scale := experiments.Quick
@@ -31,15 +43,48 @@ func main() {
 	}
 	w, err := scale.Workload(*workload, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	out := bufio.NewWriterSize(os.Stdout, 1<<20)
-	defer out.Flush()
-	fmt.Fprintf(out, "# workload=%s pages=%d seed=%d\n", w.Name(), w.NumPages(), *seed)
+
+	switch *format {
+	case "csv":
+		dst := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			dst = f
+		}
+		if err := writeCSV(dst, w, *ops, *seed); err != nil {
+			fatal(err)
+		}
+		if dst != os.Stdout {
+			// A close-time write failure (quota, NFS flush) must not
+			// leave a silently truncated file behind an exit status 0.
+			if err := dst.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	case "bin":
+		if *out == "" {
+			fatal(fmt.Errorf("-format bin needs -o (binary traces don't go to a terminal)"))
+		}
+		if err := writeBinary(*out, w, *ops, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want csv or bin)", *format))
+	}
+}
+
+// writeCSV emits the legacy op,page,write dump.
+func writeCSV(dst *os.File, w trace.Source, ops int64, seed uint64) error {
+	out := bufio.NewWriterSize(dst, 1<<20)
+	fmt.Fprintf(out, "# workload=%s pages=%d seed=%d\n", w.Name(), w.NumPages(), seed)
 	fmt.Fprintln(out, "op,page,write")
 	var buf []trace.Access
-	for op := int64(0); op < *ops; op++ {
+	for op := int64(0); op < ops; op++ {
 		buf = w.NextOp(buf[:0])
 		for _, a := range buf {
 			out.WriteString(strconv.FormatInt(op, 10))
@@ -53,4 +98,32 @@ func main() {
 			}
 		}
 	}
+	return out.Flush()
+}
+
+// writeBinary emits a trace file replayable via "trace:<path>".
+func writeBinary(path string, w trace.Source, ops int64, seed uint64) error {
+	meta := tracefile.MetaOf(w, seed)
+	// A generator dump has no virtual clock, so shifts cannot be
+	// timestamped as marks; claiming shift-capability in the header would
+	// misstate the content. Capture a live run to preserve shift marks.
+	meta.Shift = false
+	tw, err := tracefile.Create(path, meta)
+	if err != nil {
+		return err
+	}
+	var buf []trace.Access
+	for op := int64(0); op < ops; op++ {
+		buf = w.NextOp(buf[:0])
+		if err := tw.WriteOp(buf); err != nil {
+			tw.Close()
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(2)
 }

@@ -17,6 +17,13 @@
 // packages; external packages can register their own entries and every
 // consumer — the experiment harness, the CLIs, sweeps — picks them up.
 //
+// Any run can be captured to a trace file and replayed as a first-class
+// workload: WithRecordTo tees the op stream to disk without perturbing the
+// run, WithTraceFile (or the "trace:<path>" workload name) replays a
+// capture, and replaying under the recorded policy/ratio/seed reproduces
+// the live run's sweep JSON byte for byte. The on-disk format is specified
+// in docs/TRACE_FORMAT.md so traces can be produced by external tools.
+//
 // Quick start:
 //
 //	res, err := hybridtier.NewExperiment(

@@ -5,6 +5,11 @@
 // facade, and the facade, the experiment harness, and the CLIs can all
 // resolve names through one authoritative table instead of hand-maintained
 // switch statements.
+//
+// Besides registered names, workload resolution understands one scheme:
+// "trace:<path>" opens a recorded trace file (internal/tracefile) as the
+// workload, so captured or externally produced access streams run
+// everywhere a workload name is accepted — experiments, sweeps, CLIs.
 package registry
 
 import (
@@ -16,6 +21,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/tier"
 	"repro/internal/trace"
+	"repro/internal/tracefile"
 )
 
 // PolicyFactory builds one policy instance for a page space of numPages
@@ -183,9 +189,26 @@ func (r *WorkloadRegistry) Lookup(name string) (WorkloadEntry, bool) {
 	return e, ok
 }
 
-// New constructs the named workload, or an error naming the known
-// workloads when the name is not registered.
+// TraceScheme prefixes workload names that resolve to recorded trace
+// files instead of registered generators: "trace:/path/to/run.htrc".
+const TraceScheme = "trace:"
+
+// New constructs the named workload. Names starting with TraceScheme open
+// the trace file after the prefix (WorkloadParams do not apply: the trace
+// header fixes the page space and the recorded stream is literal). Other
+// names resolve through the registered entries, with an error naming the
+// known workloads when the name is not registered.
 func (r *WorkloadRegistry) New(name string, p WorkloadParams) (trace.Source, error) {
+	if path, ok := strings.CutPrefix(name, TraceScheme); ok {
+		if path == "" {
+			return nil, fmt.Errorf("registry: %q needs a path after the scheme", name)
+		}
+		src, err := tracefile.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("registry: workload %q: %w", name, err)
+		}
+		return src, nil
+	}
 	e, ok := r.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("registry: unknown workload %q (known: %s)",

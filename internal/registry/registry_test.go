@@ -4,9 +4,13 @@ import (
 	"strings"
 	"testing"
 
+	"io"
+	"path/filepath"
+
 	"repro/internal/mem"
 	"repro/internal/tier"
 	"repro/internal/trace"
+	"repro/internal/tracefile"
 )
 
 func stubPolicy(name string) PolicyEntry {
@@ -98,5 +102,44 @@ func TestGlobalRegistriesPopulated(t *testing.T) {
 	// exist and be usable.
 	if Policies == nil || Workloads == nil {
 		t.Fatal("global registries must be initialized")
+	}
+}
+
+// TestTraceSchemeResolution: "trace:<path>" names open a recorded trace as
+// the workload, bypassing the registered entries; the reader stands in for
+// the recorded source with its name and page space.
+func TestTraceSchemeResolution(t *testing.T) {
+	r := NewWorkloadRegistry()
+	path := filepath.Join(t.TempDir(), "w.htrc")
+	w, err := tracefile.Create(path, tracefile.Meta{Name: "captured", NumPages: 128, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := trace.NewZipfSource("captured", 128, 1.0, 0, 5)
+	var buf []trace.Access
+	for i := 0; i < 50; i++ {
+		buf = src.NextOp(buf[:0])
+		if err := w.WriteOp(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := r.New(TraceScheme+path, WorkloadParams{Seed: 99})
+	if err != nil {
+		t.Fatalf("New(trace:...): %v", err)
+	}
+	defer got.(io.Closer).Close()
+	if got.Name() != "captured" || got.NumPages() != 128 {
+		t.Fatalf("resolved %q/%d, want captured/128", got.Name(), got.NumPages())
+	}
+
+	if _, err := r.New(TraceScheme, WorkloadParams{}); err == nil {
+		t.Fatal("bare trace: scheme accepted")
+	}
+	if _, err := r.New(TraceScheme+path+".missing", WorkloadParams{}); err == nil {
+		t.Fatal("missing trace file accepted")
 	}
 }

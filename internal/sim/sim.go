@@ -415,6 +415,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// A final clock notification marks the end-of-run virtual time for
+	// stream observers — a trace capture's last time mark records the
+	// run's full extent. Sources see it as one more tick; none change
+	// behaviour after their last op.
+	cfg.Workload.AdvanceTime(s.now)
+
 	if cfg.Progress != nil {
 		cfg.Progress(cfg.Ops, cfg.Ops)
 	}

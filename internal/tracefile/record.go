@@ -1,0 +1,90 @@
+package tracefile
+
+import "repro/internal/trace"
+
+// Recorder tees a live source to a Writer: every op the simulator pulls is
+// forwarded unchanged and appended to the trace, every AdvanceTime call
+// becomes a virtual-time mark, and a ShiftSource's shift is captured as a
+// shift mark the moment it fires. Recording is therefore non-intrusive —
+// the wrapped run produces exactly the results the bare source would —
+// and the captured file replays to byte-identical sweep JSON.
+//
+// Write failures cannot surface through the Source interface; the first
+// one is latched on Err, which the recording path checks after the run.
+// Closing the Writer is the caller's job.
+type Recorder struct {
+	src       trace.Source
+	shiftSrc  trace.ShiftSource // nil when src has no shift notion
+	w         *Writer
+	lastShift int64
+}
+
+// NewRecorder wraps src so its op stream is appended to w.
+func NewRecorder(src trace.Source, w *Writer) *Recorder {
+	shiftSrc, _ := src.(trace.ShiftSource)
+	return &Recorder{src: src, shiftSrc: shiftSrc, w: w, lastShift: -1}
+}
+
+// Name implements trace.Source, delegating to the recorded source.
+func (r *Recorder) Name() string { return r.src.Name() }
+
+// NumPages implements trace.Source, delegating to the recorded source.
+func (r *Recorder) NumPages() int { return r.src.NumPages() }
+
+// NextOp implements trace.Source: it pulls the next op from the wrapped
+// source, appends it to the trace, and returns it unchanged. A shift that
+// fires inside the op is written *after* the op record: a replay
+// shortened to end before this op then stops at the op's record and never
+// consumes the mark (no phantom shift), while any replay that executed
+// the op picks the mark up scanning toward the next op or on its final
+// clock advance.
+func (r *Recorder) NextOp(dst []trace.Access) []trace.Access {
+	out := r.src.NextOp(dst)
+	r.w.WriteOp(out[len(dst):])
+	r.captureShift()
+	return out
+}
+
+// AdvanceTime implements trace.Source: the clock notification is captured
+// as a time mark and forwarded to the wrapped source — which may fire a
+// time-driven shift, checked right after so tick-triggered shifts (and a
+// shift on the run's final tick) are captured too.
+func (r *Recorder) AdvanceTime(now int64) {
+	r.w.MarkTime(now)
+	r.src.AdvanceTime(now)
+	r.captureShift()
+}
+
+// captureShift emits a shift mark when the wrapped source's shift time
+// changed since the last check.
+func (r *Recorder) captureShift() {
+	if r.shiftSrc == nil {
+		return
+	}
+	if st := r.shiftSrc.ShiftTime(); st != r.lastShift {
+		r.w.MarkShift(st)
+		r.lastShift = st
+	}
+}
+
+// ShiftTime implements trace.ShiftSource, delegating to the wrapped source
+// (-1 when it has no shift notion), so recording never changes a result.
+func (r *Recorder) ShiftTime() int64 {
+	if r.shiftSrc == nil {
+		return -1
+	}
+	return r.shiftSrc.ShiftTime()
+}
+
+// Err returns the first failure: the wrapped source's latched error when
+// it has one (a Recorder around a truncated replay must report the
+// truncation, not the knock-on write failure its empty ops cause), else
+// the first write failure.
+func (r *Recorder) Err() error {
+	if es, ok := r.src.(interface{ Err() error }); ok {
+		if err := es.Err(); err != nil {
+			return err
+		}
+	}
+	return r.w.err
+}

@@ -1,0 +1,155 @@
+// Package tracefile defines the on-disk trace format that makes any access
+// stream a first-class workload: a versioned, streamable binary encoding of
+// trace.Source op streams (docs/TRACE_FORMAT.md is the byte-level spec).
+// Writer serializes ops as they are produced, Recorder tees a live source to
+// a Writer during a simulation, and Reader replays a file as a trace.Source,
+// so a captured run can be re-run bit-for-bit — byte-identical sweep JSON —
+// on another machine, or a trace produced by an external tool can be swept
+// like any registered workload (the registry resolves "trace:<path>" names
+// through Open).
+//
+// The format is magic "HTRC" + one version byte + one flags byte, a varint
+// header carrying the workload name, page-space size, and seed, then a body
+// (optionally gzip-framed) of varint-delta-encoded op records interleaved
+// with virtual-time marks, distribution-shift marks, and a terminating end
+// record whose op/access counts detect truncation.
+package tracefile
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Magic opens every trace file, before the version byte.
+const Magic = "HTRC"
+
+// Version is the format generation this package reads and writes. Readers
+// must reject other versions: any incompatible change bumps it.
+const Version = 1
+
+// Header flag bits.
+const (
+	// FlagGzip marks a gzip-compressed body (everything after the header).
+	FlagGzip = 1 << 0
+	// FlagShift marks a trace captured from a shift-capable source
+	// (trace.ShiftSource); shift marks may appear in the body.
+	FlagShift = 1 << 1
+)
+
+// Control-record subtypes (the body's tag-0 records).
+const (
+	ctlTime  = 0x01 // virtual-time mark
+	ctlShift = 0x02 // distribution-shift mark
+	ctlEnd   = 0x03 // end of trace, with op/access counts
+)
+
+// maxNameLen bounds the header's workload-name field so a corrupt length
+// cannot drive a huge allocation.
+const maxNameLen = 4096
+
+// maxOpAccesses bounds one op's access count for the same reason.
+const maxOpAccesses = 1 << 20
+
+// Errors the reading side reports. Decode failures wrap ErrCorrupt;
+// a body that ends without an end record wraps ErrTruncated.
+var (
+	ErrCorrupt   = errors.New("tracefile: corrupt trace")
+	ErrTruncated = errors.New("tracefile: truncated trace (no end record)")
+)
+
+// Meta is the trace header: everything a reader needs to stand in for the
+// recorded workload.
+type Meta struct {
+	// Name is the recorded workload's instance name; the Reader reports it
+	// so replayed results label themselves exactly like the live run.
+	Name string
+	// NumPages is the dense 4 KB page-space size the trace addresses.
+	NumPages int
+	// Seed is the seed the recorded workload instance was built with
+	// (informational: replay does not re-run the generator).
+	Seed uint64
+	// Shift records whether the source was a trace.ShiftSource.
+	Shift bool
+}
+
+// MetaOf derives a header from a live source and the seed it was built
+// with. Re-recording a replay copies the original capture's header
+// verbatim — a Reader's seed is the original instance's, and it
+// implements ShiftSource for every trace, so deriving the fields from the
+// interface would stamp wrong provenance.
+func MetaOf(src trace.Source, seed uint64) Meta {
+	if r, ok := src.(*Reader); ok {
+		return r.Header()
+	}
+	_, shift := src.(trace.ShiftSource)
+	return Meta{Name: src.Name(), NumPages: src.NumPages(), Seed: seed, Shift: shift}
+}
+
+func (m Meta) validate() error {
+	if len(m.Name) > maxNameLen {
+		return fmt.Errorf("tracefile: workload name longer than %d bytes", maxNameLen)
+	}
+	if m.NumPages <= 0 {
+		return fmt.Errorf("tracefile: NumPages must be positive, got %d", m.NumPages)
+	}
+	return nil
+}
+
+// zigzag maps a signed delta onto an unsigned varint-friendly value:
+// 0,-1,1,-2,2 ... become 0,1,2,3,4 ...
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Info summarizes one trace file; the htiersim -trace-info path and the
+// replay default-op-count logic use it.
+type Info struct {
+	Meta
+	// Compressed reports gzip body framing.
+	Compressed bool
+	// Ops and Accesses count the recorded stream.
+	Ops      int64
+	Accesses int64
+	// Shifts is the number of shift marks; ShiftNs is the last one's
+	// virtual time (-1 when none).
+	Shifts  int
+	ShiftNs int64
+	// EndNs is the last virtual-time mark (-1 when the trace has none).
+	EndNs int64
+	// Clean reports a well-formed end record whose counts match the stream.
+	Clean bool
+}
+
+// Stat scans path end to end and summarizes it. Unlike Open's replay mode
+// it never wraps around; a truncated or corrupt body yields Clean == false,
+// the counts seen so far, and the decode error.
+func Stat(path string) (Info, error) {
+	r, err := Open(path)
+	if err != nil {
+		return Info{}, err
+	}
+	defer r.Close()
+	r.wrap = false
+	info := Info{Meta: r.Header(), Compressed: r.compressed, ShiftNs: -1, EndNs: -1}
+	var buf []trace.Access
+	for {
+		// Empty ops are unrepresentable, so an empty result means the end
+		// record (or a latched error) stopped the scan.
+		buf = r.NextOp(buf[:0])
+		if len(buf) == 0 {
+			break
+		}
+		info.Ops++
+		info.Accesses += int64(len(buf))
+	}
+	info.Shifts = r.shifts
+	info.ShiftNs = r.ShiftTime()
+	if r.sawTime {
+		info.EndNs = r.lastTime
+	}
+	info.Clean = r.done && r.err == nil
+	return info, r.err
+}

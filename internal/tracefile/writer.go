@@ -1,0 +1,199 @@
+package tracefile
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Writer serializes an op stream into the trace format. It is streamable —
+// records hit the underlying writer as they are produced, nothing seeks
+// back — and single-threaded, like the Source contract it mirrors.
+// Close writes the end record; a file missing it reads back as truncated.
+type Writer struct {
+	dst      io.Writer // body sink: gz when compressing, else bw
+	bw       *bufio.Writer
+	gz       *gzip.Writer
+	file     *os.File // non-nil when Create opened the file
+	scratch  []byte
+	prevPage int64
+	lastTime int64
+	ops      uint64
+	accesses uint64
+	closed   bool
+	err      error
+}
+
+// NewWriter starts a trace on w: it writes the magic, version, and header
+// immediately. Set gzip to compress the body; Close then finishes the gzip
+// stream but never closes w itself.
+func NewWriter(w io.Writer, meta Meta, gzipBody bool) (*Writer, error) {
+	if err := meta.validate(); err != nil {
+		return nil, err
+	}
+	tw := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	var flags byte
+	if gzipBody {
+		flags |= FlagGzip
+	}
+	if meta.Shift {
+		flags |= FlagShift
+	}
+	hdr := append([]byte(Magic), Version, flags)
+	hdr = binary.AppendUvarint(hdr, uint64(len(meta.Name)))
+	hdr = append(hdr, meta.Name...)
+	hdr = binary.AppendUvarint(hdr, uint64(meta.NumPages))
+	hdr = binary.AppendUvarint(hdr, meta.Seed)
+	if _, err := tw.bw.Write(hdr); err != nil {
+		return nil, fmt.Errorf("tracefile: writing header: %w", err)
+	}
+	if gzipBody {
+		tw.gz = gzip.NewWriter(tw.bw)
+		tw.dst = tw.gz
+	} else {
+		tw.dst = tw.bw
+	}
+	return tw, nil
+}
+
+// Create opens path and starts a trace in it. A ".gz" suffix selects gzip
+// body framing; Close then also closes the file.
+func Create(path string, meta Meta) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f, meta, strings.HasSuffix(path, ".gz"))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.file = f
+	return w, nil
+}
+
+// emit appends the scratch record to the body, latching the first error.
+func (w *Writer) emit(rec []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		w.err = fmt.Errorf("tracefile: write after Close")
+		return w.err
+	}
+	if _, err := w.dst.Write(rec); err != nil {
+		w.err = fmt.Errorf("tracefile: writing record: %w", err)
+	}
+	return w.err
+}
+
+// WriteOp appends one op record. Empty ops are not representable in the
+// format (the zero tag is reserved for control records) and are an error.
+func (w *Writer) WriteOp(accs []trace.Access) error {
+	if len(accs) == 0 {
+		if w.err == nil {
+			w.err = fmt.Errorf("tracefile: empty ops are not representable")
+		}
+		return w.err
+	}
+	if len(accs) > maxOpAccesses {
+		if w.err == nil {
+			w.err = fmt.Errorf("tracefile: op with %d accesses exceeds the %d limit",
+				len(accs), maxOpAccesses)
+		}
+		return w.err
+	}
+	rec := binary.AppendUvarint(w.scratch[:0], uint64(len(accs)))
+	for _, a := range accs {
+		delta := int64(a.Page) - w.prevPage
+		v := zigzag(delta) << 1
+		if a.Write {
+			v |= 1
+		}
+		rec = binary.AppendUvarint(rec, v)
+		w.prevPage = int64(a.Page)
+	}
+	w.scratch = rec
+	if err := w.emit(rec); err != nil {
+		return err
+	}
+	w.ops++
+	w.accesses += uint64(len(accs))
+	return nil
+}
+
+// MarkTime appends a virtual-time mark: the simulator's clock at a tick
+// boundary, delta-encoded against the previous mark.
+func (w *Writer) MarkTime(now int64) error {
+	rec := append(w.scratch[:0], 0, ctlTime)
+	rec = binary.AppendUvarint(rec, zigzag(now-w.lastTime))
+	w.scratch = rec
+	if err := w.emit(rec); err != nil {
+		return err
+	}
+	w.lastTime = now
+	return nil
+}
+
+// MarkShift appends a distribution-shift mark at virtual time now,
+// delta-encoded against the previous time mark.
+func (w *Writer) MarkShift(now int64) error {
+	rec := append(w.scratch[:0], 0, ctlShift)
+	rec = binary.AppendUvarint(rec, zigzag(now-w.lastTime))
+	w.scratch = rec
+	return w.emit(rec)
+}
+
+// Counts reports the ops and accesses written so far.
+func (w *Writer) Counts() (ops, accesses int64) {
+	return int64(w.ops), int64(w.accesses)
+}
+
+// Close writes the end record (op and access counts, so readers detect
+// truncation), flushes, and — when Create opened the file — closes it.
+// Close is idempotent; it returns the first error the writer hit.
+func (w *Writer) Close() error {
+	return w.finish(true)
+}
+
+// Abort flushes and closes like Close but writes no end record, so the
+// file reads back as truncated. Recording paths use it when the run
+// failed or was canceled: the partial capture stays inspectable but can
+// never pass for a complete trace.
+func (w *Writer) Abort() error {
+	return w.finish(false)
+}
+
+func (w *Writer) finish(endRecord bool) error {
+	if w.closed {
+		return w.err
+	}
+	if endRecord {
+		rec := append(w.scratch[:0], 0, ctlEnd)
+		rec = binary.AppendUvarint(rec, w.ops)
+		rec = binary.AppendUvarint(rec, w.accesses)
+		w.scratch = rec
+		w.emit(rec)
+	}
+	w.closed = true
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil && w.err == nil {
+			w.err = fmt.Errorf("tracefile: closing gzip stream: %w", err)
+		}
+	}
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = fmt.Errorf("tracefile: flushing: %w", err)
+	}
+	if w.file != nil {
+		if err := w.file.Close(); err != nil && w.err == nil {
+			w.err = fmt.Errorf("tracefile: closing file: %w", err)
+		}
+	}
+	return w.err
+}

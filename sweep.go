@@ -4,8 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/registry"
+	"repro/internal/tracefile"
 )
 
 // Cell identifies one point of a sweep's cross product.
@@ -73,10 +77,12 @@ func (s *Sweep) Cells() []Cell {
 	return cells
 }
 
-// experimentFor builds the cell's experiment from Base plus coordinates.
-func (s *Sweep) experimentFor(c Cell) *Experiment {
-	opts := make([]Option, 0, len(s.Base)+3)
+// experimentFor builds the cell's experiment from Base plus sweep-level
+// extras (e.g. the trace-length ops default) plus coordinates.
+func (s *Sweep) experimentFor(c Cell, extra []Option) *Experiment {
+	opts := make([]Option, 0, len(s.Base)+len(extra)+3)
 	opts = append(opts, s.Base...)
+	opts = append(opts, extra...)
 	opts = append(opts, WithPolicy(c.Policy), WithRatio(c.Ratio), WithSeed(c.Seed))
 	return NewExperiment(opts...)
 }
@@ -94,11 +100,40 @@ func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
 	if len(s.Policies) == 0 {
 		return nil, fmt.Errorf("hybridtier: sweep needs at least one policy")
 	}
-	if probe := NewExperiment(s.Base...); probe.workload != nil {
+	probe := NewExperiment(s.Base...)
+	if probe.workload != nil {
 		return nil, fmt.Errorf("hybridtier: sweep cells cannot share one workload instance; " +
 			"use WithWorkloadName or WithWorkloadFunc instead of WithWorkload")
 	}
 	cells := s.Cells()
+	if probe.recordTo != "" && len(cells) > 1 {
+		return nil, fmt.Errorf("hybridtier: %d sweep cells cannot record to one trace file; "+
+			"capture a single cell with WithRecordTo", len(cells))
+	}
+	// A trace replays the same literal stream regardless of seed (and the
+	// seed drives nothing else in a replay), so a multi-seed sweep would
+	// emit identical cells labeled with distinct seeds — archived results
+	// lying about what ran, like the zero coordinates rejected below.
+	var baseExtra []Option
+	if path, ok := strings.CutPrefix(probe.wname, registry.TraceScheme); ok {
+		if len(s.Seeds) > 1 {
+			return nil, fmt.Errorf("hybridtier: a trace workload ignores seeds; "+
+				"sweeping %d seeds would produce identical cells under different labels",
+				len(s.Seeds))
+		}
+		// Resolve the replay-length default once here rather than once
+		// per cell: Experiment.Run's fallback rescans the whole trace.
+		if !probe.opsSet {
+			info, err := tracefile.Stat(path)
+			if err != nil {
+				return nil, err
+			}
+			if info.Ops == 0 {
+				return nil, fmt.Errorf("hybridtier: trace %s has no op records", path)
+			}
+			baseExtra = append(baseExtra, WithOps(info.Ops))
+		}
+	}
 	// Zero coordinates would be silently rewritten by NewExperiment's
 	// defaulting, making the reported cell lie about what ran; reject them
 	// up front so archived results always match their labels.
@@ -136,7 +171,7 @@ func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
 			defer wg.Done()
 			for idx := range jobs {
 				c := cells[idx]
-				res, err := s.experimentFor(c).Run(ctx)
+				res, err := s.experimentFor(c, baseExtra).Run(ctx)
 				cr := CellResult{Cell: c, Result: res}
 				if err != nil {
 					cr.Result = nil

@@ -1,0 +1,149 @@
+package hybridtier_test
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	hybridtier "repro"
+	"repro/internal/tracefile"
+)
+
+// traceSweep builds the one-cell sweep both halves of the replay-identity
+// tests run: same policy, ratio, seed, and op count, differing only in
+// where the workload comes from.
+func traceSweep(workloadOpt hybridtier.Option, extra ...hybridtier.Option) *hybridtier.Sweep {
+	base := append([]hybridtier.Option{
+		workloadOpt,
+		hybridtier.WithWorkloadParams(hybridtier.WorkloadParams{Pages: 1 << 13}),
+		hybridtier.WithOps(40_000),
+	}, extra...)
+	return &hybridtier.Sweep{
+		Policies: []hybridtier.PolicyName{hybridtier.PolicyHybridTier},
+		Ratios:   []int{8},
+		Seeds:    []uint64{3},
+		Base:     base,
+	}
+}
+
+func sweepJSON(t *testing.T, s *hybridtier.Sweep) []byte {
+	t.Helper()
+	cells, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, c := range cells {
+		if c.Err != "" {
+			t.Fatalf("cell %+v failed: %s", c.Cell, c.Err)
+		}
+	}
+	b, err := json.MarshalIndent(cells, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestReplayByteIdentical is the subsystem's contract: recording a run is
+// non-intrusive, and replaying the capture under the recorded
+// policy/ratio/seed produces byte-identical sweep JSON to the live run.
+// The shifting workload makes it cover time marks and shift marks too.
+func TestReplayByteIdentical(t *testing.T) {
+	for _, tc := range []struct{ workload, file string }{
+		{"zipf", "run.htrc"},
+		{"shifting-zipf", "run.htrc.gz"}, // exercises gzip framing + shift marks
+	} {
+		t.Run(tc.workload, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), tc.file)
+
+			live := sweepJSON(t, traceSweep(hybridtier.WithWorkloadName(tc.workload)))
+			recording := sweepJSON(t, traceSweep(hybridtier.WithWorkloadName(tc.workload),
+				hybridtier.WithRecordTo(path)))
+			if string(recording) != string(live) {
+				t.Fatal("recording perturbed the run it captured")
+			}
+
+			replay := sweepJSON(t, traceSweep(hybridtier.WithTraceFile(path)))
+			if string(replay) != string(live) {
+				t.Fatal("replayed sweep JSON differs from the live run")
+			}
+		})
+	}
+}
+
+// TestSweepRejectsSharedRecording: concurrent cells cannot append to one
+// trace file; only a single-cell sweep may carry WithRecordTo.
+func TestSweepRejectsSharedRecording(t *testing.T) {
+	s := traceSweep(hybridtier.WithWorkloadName("zipf"),
+		hybridtier.WithRecordTo(filepath.Join(t.TempDir(), "x.htrc")))
+	s.Seeds = []uint64{1, 2}
+	if _, err := s.Run(context.Background()); err == nil {
+		t.Fatal("multi-cell sweep accepted WithRecordTo")
+	}
+}
+
+// TestSweepRejectsMultiSeedReplay: a trace replays the same stream for
+// every seed, so a multi-seed sweep over a trace would emit identical
+// cells under different seed labels; the sweep must refuse.
+func TestSweepRejectsMultiSeedReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seed.htrc")
+	rec := sweepJSON(t, traceSweep(hybridtier.WithWorkloadName("zipf"),
+		hybridtier.WithRecordTo(path)))
+	_ = rec
+	s := traceSweep(hybridtier.WithTraceFile(path))
+	s.Seeds = []uint64{1, 2}
+	if _, err := s.Run(context.Background()); err == nil {
+		t.Fatal("multi-seed sweep over a trace accepted; cells would be identical under different labels")
+	}
+}
+
+// TestReplayDefaultsToRecordedLength: a replay without WithOps must cover
+// exactly the capture — the general 1M-op default would silently wrap a
+// shorter trace and break byte-identical reproduction.
+func TestReplayDefaultsToRecordedLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "len.htrc")
+	sweepJSON(t, traceSweep(hybridtier.WithWorkloadName("zipf"),
+		hybridtier.WithRecordTo(path)))
+	res, err := hybridtier.NewExperiment(hybridtier.WithTraceFile(path)).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 40_000 {
+		t.Fatalf("replay ran %d ops, want the recorded 40000", res.Ops)
+	}
+}
+
+// TestCanceledRecordingIsTruncated: a capture aborted by cancellation
+// must not finalize with an end record — a clean-looking partial trace
+// could later replay as if it were the whole run.
+func TestCanceledRecordingIsTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "partial.htrc")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := hybridtier.NewExperiment(
+		hybridtier.WithWorkloadName("zipf"),
+		hybridtier.WithWorkloadParams(hybridtier.WorkloadParams{Pages: 1 << 13}),
+		hybridtier.WithOps(40_000),
+		hybridtier.WithRecordTo(path),
+	).Run(ctx)
+	if err == nil {
+		t.Fatal("canceled run reported success")
+	}
+	if _, serr := tracefile.Stat(path); serr == nil {
+		t.Fatal("aborted capture reads back as a clean trace")
+	}
+}
+
+// TestReplayUnknownTrace: a missing trace file must fail experiment
+// construction with a useful error, not panic or hang.
+func TestReplayUnknownTrace(t *testing.T) {
+	_, err := hybridtier.NewExperiment(
+		hybridtier.WithTraceFile(filepath.Join(t.TempDir(), "nope.htrc")),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "trace:") {
+		t.Fatalf("err = %v, want workload resolution failure naming the trace", err)
+	}
+}
