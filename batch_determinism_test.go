@@ -1,0 +1,196 @@
+package hybridtier_test
+
+// Golden tests for the batched-pipeline determinism contract: the batched
+// op path (trace.BatchSource fetches, in-memory sweep stream sharing,
+// countdown sampling) must produce byte-identical sweep JSON — and
+// identical AdaptationNs — to the single-op reference path, across page
+// granularities and for trace-replay workloads. The single-op path is
+// forced with WithBatchOps(1) plus a wrapper that hides every batching
+// capability (BatchSource, ClockFree), so fetching degrades to exactly the
+// pre-batching one-NextOp-per-op schedule.
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	hybridtier "repro"
+
+	"repro/internal/registry"
+	"repro/internal/trace"
+	"repro/internal/tracefile"
+)
+
+// plainSource hides everything but the bare Source interface.
+type plainSource struct{ src trace.Source }
+
+func (p *plainSource) Name() string                             { return p.src.Name() }
+func (p *plainSource) NumPages() int                            { return p.src.NumPages() }
+func (p *plainSource) NextOp(dst []trace.Access) []trace.Access { return p.src.NextOp(dst) }
+func (p *plainSource) AdvanceTime(now int64)                    { p.src.AdvanceTime(now) }
+
+// plainShiftSource additionally forwards ShiftTime.
+type plainShiftSource struct{ plainSource }
+
+func (p *plainShiftSource) ShiftTime() int64 {
+	return p.src.(trace.ShiftSource).ShiftTime()
+}
+
+// wrap hides batching capabilities, keeping the shift interface visible.
+func wrap(src trace.Source) trace.Source {
+	if _, ok := src.(trace.ShiftSource); ok {
+		return &plainShiftSource{plainSource{src}}
+	}
+	return &plainSource{src}
+}
+
+// goldenParams sizes the workloads small enough for the test suite.
+func goldenParams() registry.WorkloadParams {
+	return registry.WorkloadParams{
+		CacheObjects: 800,
+		GraphScale:   10,
+		GraphDegree:  8,
+		Records:      1 << 15,
+		Rows:         1 << 14,
+		Features:     8,
+		Pages:        1 << 13,
+		Skew:         1.0,
+	}
+}
+
+// runSweep executes the golden grid and returns its marshaled cells.
+func runSweep(t *testing.T, base ...hybridtier.Option) []byte {
+	t.Helper()
+	cells, err := (&hybridtier.Sweep{
+		Policies: []hybridtier.PolicyName{"HybridTier", "Memtis", "TPP", "ARC"},
+		Ratios:   []int{8},
+		Seeds:    []uint64{7},
+		Base:     base,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Err != "" {
+			t.Fatalf("cell %s failed: %s", c.Policy, c.Err)
+		}
+	}
+	b, err := json.Marshal(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// singleVsBatched asserts single-op and batched runs of the same workload
+// are byte-identical. name resolves through the workload registry.
+func singleVsBatched(t *testing.T, name string, extra ...hybridtier.Option) {
+	t.Helper()
+	single := runSweep(t, append([]hybridtier.Option{
+		hybridtier.WithWorkloadFunc(func(seed uint64) (hybridtier.Workload, error) {
+			p := goldenParams()
+			p.Seed = seed
+			w, err := registry.Workloads.New(name, p)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(w), nil
+		}),
+		hybridtier.WithOps(30_000),
+		hybridtier.WithBatchOps(1),
+	}, extra...)...)
+	batched := runSweep(t, append([]hybridtier.Option{
+		hybridtier.WithWorkloadName(name),
+		hybridtier.WithWorkloadParams(goldenParams()),
+		hybridtier.WithOps(30_000),
+	}, extra...)...)
+	if string(single) != string(batched) {
+		t.Fatalf("%s: batched sweep JSON diverges from single-op path", name)
+	}
+}
+
+func TestBatchedSweepMatchesSingleOp(t *testing.T) {
+	// Multi-access ops (B+tree probes) exercise EndOp batching; the batched
+	// side additionally goes through the shared in-memory replay stream.
+	singleVsBatched(t, "silo")
+	// Single-access synthetic stream.
+	singleVsBatched(t, "zipf")
+}
+
+func TestBatchedSweepMatchesSingleOpHugePages(t *testing.T) {
+	singleVsBatched(t, "silo", hybridtier.WithHugePages(true))
+}
+
+// TestBatchedShiftMatchesSingleOp covers the hardest alignment case: an
+// op-count-triggered distribution shift that timestamps itself from the
+// virtual clock. Sweep JSON (including shift_ns) and the AdaptationNs
+// metric must not move between fetch schedules.
+func TestBatchedShiftMatchesSingleOp(t *testing.T) {
+	build := func(seed uint64) hybridtier.Workload {
+		return hybridtier.ShiftingZipf("golden-shift", 1<<13, 1.0, seed, 10_000, 2.0/3.0)
+	}
+	adapt := func(raw []byte) (int64, bool) {
+		var cells []hybridtier.CellResult
+		if err := json.Unmarshal(raw, &cells); err != nil {
+			t.Fatal(err)
+		}
+		return cells[0].Result.AdaptationNs(5, 0.05)
+	}
+	single := runSweep(t,
+		hybridtier.WithWorkloadFunc(func(seed uint64) (hybridtier.Workload, error) {
+			return wrap(build(seed)), nil
+		}),
+		hybridtier.WithOps(40_000),
+		hybridtier.WithWindowNs(1_000_000),
+		hybridtier.WithBatchOps(1),
+	)
+	batched := runSweep(t,
+		hybridtier.WithWorkloadFunc(func(seed uint64) (hybridtier.Workload, error) {
+			return build(seed), nil
+		}),
+		hybridtier.WithOps(40_000),
+		hybridtier.WithWindowNs(1_000_000),
+	)
+	if string(single) != string(batched) {
+		t.Fatal("shifting workload: batched sweep JSON diverges from single-op path")
+	}
+	sNs, sOK := adapt(single)
+	bNs, bOK := adapt(batched)
+	if sNs != bNs || sOK != bOK {
+		t.Fatalf("AdaptationNs diverged: single-op (%d,%v) vs batched (%d,%v)", sNs, sOK, bNs, bOK)
+	}
+}
+
+// TestBatchedReplayMatchesSingleOp records a capture, then replays it under
+// both fetch schedules.
+func TestBatchedReplayMatchesSingleOp(t *testing.T) {
+	capPath := filepath.Join(t.TempDir(), "golden.htrc")
+	if _, err := hybridtier.NewExperiment(
+		hybridtier.WithWorkloadName("cdn"),
+		hybridtier.WithWorkloadParams(goldenParams()),
+		hybridtier.WithOps(20_000),
+		hybridtier.WithSeed(7),
+		hybridtier.WithRecordTo(capPath),
+	).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	single := runSweep(t,
+		hybridtier.WithWorkloadFunc(func(uint64) (hybridtier.Workload, error) {
+			r, err := tracefile.Open(capPath)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(r), nil
+		}),
+		hybridtier.WithOps(20_000),
+		hybridtier.WithBatchOps(1),
+	)
+	batched := runSweep(t,
+		hybridtier.WithTraceFile(capPath),
+		hybridtier.WithOps(20_000),
+	)
+	if string(single) != string(batched) {
+		t.Fatal("trace replay: batched sweep JSON diverges from single-op path")
+	}
+}

@@ -30,8 +30,12 @@ type Experiment struct {
 	cache    bool
 	seed     uint64
 	windowNs int64
+	batchOps int
 	recordTo string
 	progress func(done, total int64)
+	// scratch supplies reusable simulation buffers; Sweep workers set it
+	// directly so cells on one worker recycle allocations.
+	scratch *sim.Scratch
 }
 
 // Option configures an Experiment.
@@ -131,6 +135,15 @@ func WithWindowNs(ns int64) Option {
 // concurrency-safe: cells running in parallel share it.
 func WithProgress(fn func(done, total int64)) Option {
 	return func(e *Experiment) { e.progress = fn }
+}
+
+// WithBatchOps sets how many operations the simulator fetches from the
+// workload per batch (default sim.DefaultBatchOps). It is purely a
+// performance knob — results are identical for any value — and 1 forces
+// the single-op fetch schedule, which the determinism tests compare
+// against the batched default.
+func WithBatchOps(n int) Option {
+	return func(e *Experiment) { e.batchOps = n }
 }
 
 // NewExperiment builds an experiment from options. Unset or zero-valued
@@ -252,6 +265,8 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 	}
 	cfg.Ctx = ctx
 	cfg.Progress = e.progress
+	cfg.BatchOps = e.batchOps
+	cfg.Scratch = e.scratch
 	res, err := sim.Run(cfg)
 	if err == nil {
 		// Streaming sources (trace replay, recording tees) cannot report

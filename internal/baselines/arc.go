@@ -168,3 +168,7 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// RecencyFree implements tier.RecencyFree: ARC tracks recency in its own
+// lists and never consults Env.LastAccess.
+func (a *ARC) RecencyFree() {}

@@ -175,3 +175,6 @@ func (a *AutoNUMA) demoteToWatermark() {
 		cutoff = now - a.cfg.AgeNs/8
 	}
 }
+
+// FaultBitmap implements tier.FaultBitmapped with the live unmapped bitmap.
+func (a *AutoNUMA) FaultBitmap() []uint64 { return a.unmapped }

@@ -99,3 +99,11 @@ func (s *Static) Tick() {}
 
 // MetadataBytes implements tier.Policy.
 func (s *Static) MetadataBytes() int64 { return 0 }
+
+// RecencyFree implements tier.RecencyFree: LRU orders pages from the sample
+// stream and never consults Env.LastAccess.
+func (l *LRU) RecencyFree() {}
+
+// RecencyFree implements tier.RecencyFree: static placements consult
+// nothing at all.
+func (s *Static) RecencyFree() {}

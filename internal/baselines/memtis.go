@@ -231,3 +231,7 @@ func (m *Memtis) demoteToWatermark() {
 	m.scanCursor = last + 1
 	m.env.Charge(float64(visited) * 25)
 }
+
+// RecencyFree implements tier.RecencyFree: Memtis is purely sample-driven
+// and never consults Env.LastAccess.
+func (m *Memtis) RecencyFree() {}

@@ -167,3 +167,6 @@ func (t *TPP) demoteToWatermark() {
 		cutoff = now - t.cfg.ActiveWindowNs/8
 	}
 }
+
+// FaultBitmap implements tier.FaultBitmapped with the live arming bitmap.
+func (t *TPP) FaultBitmap() []uint64 { return t.armed }

@@ -121,3 +121,7 @@ func (t *TwoQ) demote(y int32) {
 		t.stats.Demoted++
 	}
 }
+
+// RecencyFree implements tier.RecencyFree: TwoQ tracks recency in its own
+// queues and never consults Env.LastAccess.
+func (t *TwoQ) RecencyFree() {}

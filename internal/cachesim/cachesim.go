@@ -72,8 +72,12 @@ type level struct {
 	sets    int
 	tags    []uint64 // sets*ways entries; 0 means empty (tag 0 stored as tag+1)
 	lruTick []uint64
-	tick    uint64
-	stats   Stats
+	// mru caches each set's most-recently-hit way so the common re-hit
+	// costs one compare instead of a ways-wide scan. Pure acceleration:
+	// hit/miss outcomes and LRU state are identical with or without it.
+	mru   []uint16
+	tick  uint64
+	stats Stats
 }
 
 func newLevel(c Config) *level {
@@ -94,6 +98,7 @@ func newLevel(c Config) *level {
 		sets:    sets,
 		tags:    make([]uint64, sets*c.Ways),
 		lruTick: make([]uint64, sets*c.Ways),
+		mru:     make([]uint16, sets),
 	}
 }
 
@@ -104,11 +109,18 @@ func (l *level) access(line uint64, a Actor) bool {
 	set := int(line) & (l.sets - 1)
 	base := set * l.ways
 	stored := line + 1 // avoid tag 0 ambiguity with empty slots
+	// Fast path: the set's last-hit way. A tag appears at most once per
+	// set, so a match here is the same hit the scan would find.
+	if m := base + int(l.mru[set]); l.tags[m] == stored {
+		l.lruTick[m] = l.tick
+		return true
+	}
 	victim := base
 	oldest := l.lruTick[base]
 	for i := base; i < base+l.ways; i++ {
 		if l.tags[i] == stored {
 			l.lruTick[i] = l.tick
+			l.mru[set] = uint16(i - base)
 			return true
 		}
 		if l.lruTick[i] < oldest {
@@ -119,6 +131,7 @@ func (l *level) access(line uint64, a Actor) bool {
 	l.stats.Misses[a]++
 	l.tags[victim] = stored
 	l.lruTick[victim] = l.tick
+	l.mru[set] = uint16(victim - base)
 	return false
 }
 

@@ -32,6 +32,9 @@ type Filter interface {
 	Get(key uint64) uint32
 	// Increment adds one access for key and returns the new estimate.
 	Increment(key uint64) uint32
+	// IncrementGet is Increment that also reports the pre-increment
+	// estimate, sparing hot paths a separate Get's probe round.
+	IncrementGet(key uint64) (before, after uint32)
 	// Cool halves every counter (EMA decay factor 2).
 	Cool()
 	// Reset zeroes every counter.
@@ -115,28 +118,44 @@ func MustNew(p Params) Filter {
 }
 
 // counterArray is a packed array of 4-, 8-, or 16-bit saturating counters.
+// Counter widths are powers of two, so slot addressing is shift/mask only:
+// slot i lives in words[i>>slotShift] at bit (i&slotMask)<<bitsLog.
 type counterArray struct {
-	bits  int
-	max   uint32
-	n     int
-	words []uint64
+	bits      int
+	bitsLog   uint // log2(bits)
+	slotShift uint // log2(slots per word)
+	slotMask  int  // slots per word - 1
+	coolMask  uint64
+	max       uint32
+	n         int
+	words     []uint64
 }
 
 func newCounterArray(bits, n int) *counterArray {
 	perWord := 64 / bits
 	words := (n + perWord - 1) / perWord
-	return &counterArray{
+	c := &counterArray{
 		bits:  bits,
 		max:   uint32(1)<<bits - 1,
 		n:     n,
 		words: make([]uint64, words),
 	}
+	switch bits {
+	case 4:
+		c.bitsLog, c.coolMask = 2, 0x7777777777777777
+	case 8:
+		c.bitsLog, c.coolMask = 3, 0x7f7f7f7f7f7f7f7f
+	default: // 16
+		c.bitsLog, c.coolMask = 4, 0x7fff7fff7fff7fff
+	}
+	c.slotShift = 6 - c.bitsLog
+	c.slotMask = perWord - 1
+	return c
 }
 
 func (c *counterArray) get(i int) uint32 {
-	perWord := 64 / c.bits
-	w := c.words[i/perWord]
-	shift := uint(i%perWord) * uint(c.bits)
+	w := c.words[i>>c.slotShift]
+	shift := uint(i&c.slotMask) << c.bitsLog
 	return uint32(w>>shift) & c.max
 }
 
@@ -144,21 +163,22 @@ func (c *counterArray) set(i int, v uint32) {
 	if v > c.max {
 		v = c.max
 	}
-	perWord := 64 / c.bits
-	idx := i / perWord
-	shift := uint(i%perWord) * uint(c.bits)
+	idx := i >> c.slotShift
+	shift := uint(i&c.slotMask) << c.bitsLog
 	mask := uint64(c.max) << shift
 	c.words[idx] = (c.words[idx] &^ mask) | uint64(v)<<shift
 }
 
-// cool halves every counter. The halving is done per-slot; with widths of
-// 4/8/16 bits a SWAR trick would also work, but per-slot keeps the three
-// widths on one code path and cooling is rare (once per cooling period).
+// cool halves every counter, one word — 16/8/4 counters — at a time:
+// shifting the whole word right one bit and clearing each field's top bit
+// halves every field in parallel, exactly matching per-slot v >> 1. The
+// per-slot loop this replaces dominated HybridTier profiles (a full-array
+// sweep every cooling period).
 func (c *counterArray) cool() {
-	for i := 0; i < c.n; i++ {
-		v := c.get(i)
-		if v != 0 {
-			c.set(i, v>>1)
+	mask := c.coolMask
+	for i, w := range c.words {
+		if w != 0 {
+			c.words[i] = (w >> 1) & mask
 		}
 	}
 }
@@ -198,9 +218,13 @@ func (s *standard) index(key uint64, i int) int {
 }
 
 func (s *standard) Get(key uint64) uint32 {
+	// The two base hashes are hoisted out of the probe loop; index() would
+	// recompute them for every i.
+	h1 := xrand.Hash64Seed(key, s.seed)
+	h2 := xrand.Hash64Seed(key, s.seed^0xa5a5a5a5a5a5a5a5) | 1
 	min := s.arr.max
 	for i := 0; i < s.k; i++ {
-		if v := s.arr.get(s.index(key, i)); v < min {
+		if v := s.arr.get(int((h1 + uint64(i)*h2) % s.m)); v < min {
 			min = v
 		}
 	}
@@ -208,17 +232,26 @@ func (s *standard) Get(key uint64) uint32 {
 }
 
 func (s *standard) Increment(key uint64) uint32 {
+	_, after := s.IncrementGet(key)
+	return after
+}
+
+// IncrementGet is Increment that also reports the pre-increment estimate,
+// saving callers that need both a second full probe round.
+func (s *standard) IncrementGet(key uint64) (before, after uint32) {
+	h1 := xrand.Hash64Seed(key, s.seed)
+	h2 := xrand.Hash64Seed(key, s.seed^0xa5a5a5a5a5a5a5a5) | 1
 	min := s.arr.max
 	idx := make([]int, 0, 8)
 	for i := 0; i < s.k; i++ {
-		j := s.index(key, i)
+		j := int((h1 + uint64(i)*h2) % s.m)
 		idx = append(idx, j)
 		if v := s.arr.get(j); v < min {
 			min = v
 		}
 	}
 	if min >= s.arr.max {
-		return s.arr.max // saturated
+		return s.arr.max, s.arr.max // saturated
 	}
 	// Conservative update: only the minimum counters advance.
 	for _, j := range idx {
@@ -226,7 +259,7 @@ func (s *standard) Increment(key uint64) uint32 {
 			s.arr.set(j, min+1)
 		}
 	}
-	return min + 1
+	return min, min + 1
 }
 
 func (s *standard) Cool()            { s.arr.cool() }
@@ -282,9 +315,18 @@ func (b *blocked) slot(key uint64, i int) int {
 }
 
 func (b *blocked) Get(key uint64) uint32 {
+	// Hash hoisting as in standard.Get: slot() recomputes three hashes per
+	// probe. slotsPerBlk is a power of two (BlockBytes*8 / {4,8,16}), so
+	// the within-block modulo is a mask.
+	h1 := xrand.Hash64Seed(key, b.seed)
+	base := int(h1%uint64(b.blocks)) * b.slotsPerBlk
+	h2 := xrand.Hash64Seed(key, b.seed^0x5bd1e9955bd1e995)
+	h3 := xrand.Hash64Seed(key, b.seed^0xc2b2ae3d27d4eb4f) | 1
+	wmask := uint64(b.slotsPerBlk - 1)
 	min := b.arr.max
 	for i := 0; i < b.k; i++ {
-		if v := b.arr.get(b.slot(key, i)); v < min {
+		j := base + int((h2+uint64(i)*h3)&wmask)
+		if v := b.arr.get(j); v < min {
 			min = v
 		}
 	}
@@ -292,24 +334,36 @@ func (b *blocked) Get(key uint64) uint32 {
 }
 
 func (b *blocked) Increment(key uint64) uint32 {
+	_, after := b.IncrementGet(key)
+	return after
+}
+
+// IncrementGet is Increment that also reports the pre-increment estimate,
+// saving callers that need both a second full probe round.
+func (b *blocked) IncrementGet(key uint64) (before, after uint32) {
+	h1 := xrand.Hash64Seed(key, b.seed)
+	base := int(h1%uint64(b.blocks)) * b.slotsPerBlk
+	h2 := xrand.Hash64Seed(key, b.seed^0x5bd1e9955bd1e995)
+	h3 := xrand.Hash64Seed(key, b.seed^0xc2b2ae3d27d4eb4f) | 1
+	wmask := uint64(b.slotsPerBlk - 1)
 	min := b.arr.max
 	idx := make([]int, 0, 8)
 	for i := 0; i < b.k; i++ {
-		j := b.slot(key, i)
+		j := base + int((h2+uint64(i)*h3)&wmask)
 		idx = append(idx, j)
 		if v := b.arr.get(j); v < min {
 			min = v
 		}
 	}
 	if min >= b.arr.max {
-		return b.arr.max
+		return b.arr.max, b.arr.max
 	}
 	for _, j := range idx {
 		if b.arr.get(j) == min {
 			b.arr.set(j, min+1)
 		}
 	}
-	return min + 1
+	return min, min + 1
 }
 
 func (b *blocked) Cool()            { b.arr.cool() }

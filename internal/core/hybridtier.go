@@ -295,8 +295,7 @@ func (h *HybridTier) OnSamples(batch []tier.Sample) {
 			h.env.TouchMeta(a)
 		}
 
-		before := h.freq.Get(key)
-		after := h.freq.Increment(key)
+		before, after := h.freq.IncrementGet(key)
 		if after > before {
 			h.histShift(before, after)
 		}
@@ -518,3 +517,7 @@ func (h *HybridTier) HistSnapshot() []int64 {
 	copy(out, h.histEst)
 	return out
 }
+
+// RecencyFree implements tier.RecencyFree: HybridTier is sample-driven
+// (PEBS + CBF tracking) and never consults Env.LastAccess.
+func (h *HybridTier) RecencyFree() {}

@@ -104,15 +104,26 @@ type Stats struct {
 	FailedPromos uint64 `json:"failed_promos"`
 }
 
+// Page-state encoding: 0 is untouched; an allocated page stores its tier
+// plus one, so the simulator's hottest operation — Touch on an allocated
+// page — is one byte load, one compare, and a subtraction, small enough to
+// inline into the caller's loop.
+const (
+	stateFree     = uint8(0)
+	stateFromTier = uint8(1) // state = stateFromTier + uint8(tier)
+)
+
 // Memory is a two-tier page placement model. It is not safe for concurrent
 // use; the concurrent runtime in internal/core serializes access.
 type Memory struct {
-	cfg       Config
-	tier      []Tier
-	allocated []bool
-	fastUsed  int
-	allocs    int
-	stats     Stats
+	cfg Config
+	// state packs allocation and tier per page into one byte (see the
+	// state* constants): half the metadata footprint and half the cache
+	// traffic of separate tier and allocated arrays.
+	state    []uint8
+	fastUsed int
+	allocs   int
+	stats    Stats
 }
 
 // New creates a Memory from cfg.
@@ -121,9 +132,8 @@ func New(cfg Config) (*Memory, error) {
 		return nil, err
 	}
 	return &Memory{
-		cfg:       cfg,
-		tier:      make([]Tier, cfg.NumPages),
-		allocated: make([]bool, cfg.NumPages),
+		cfg:   cfg,
+		state: make([]uint8, cfg.NumPages),
 	}, nil
 }
 
@@ -163,49 +173,75 @@ func (m *Memory) Allocated() int { return m.allocs }
 func (m *Memory) Stats() Stats { return m.stats }
 
 // Touch records an access to page p, allocating it on first touch according
-// to the AllocMode. It returns the tier serving the access.
+// to the AllocMode. It returns the tier serving the access. The allocated
+// fast path is deliberately tiny so it inlines into the simulator's op loop;
+// first touches take the cold path in touchNew.
 func (m *Memory) Touch(p PageID) (Tier, error) {
-	if int(p) >= m.cfg.NumPages {
-		return Slow, ErrBadPage
+	if t, ok := m.TouchTier(p); ok {
+		return t, nil
 	}
-	if !m.allocated[p] {
-		m.allocated[p] = true
-		m.allocs++
-		switch m.cfg.Alloc {
-		case AllocFast:
-			m.tier[p] = Fast
-			m.fastUsed++
-			m.stats.FastAllocs++
-		case AllocFastFirst:
-			if m.fastUsed < m.cfg.FastPages {
-				m.tier[p] = Fast
-				m.fastUsed++
-				m.stats.FastAllocs++
-			} else {
-				m.tier[p] = Slow
-				m.stats.SlowAllocs++
-			}
-		default: // AllocSlow
-			m.tier[p] = Slow
-			m.stats.SlowAllocs++
+	return m.touchNew(p)
+}
+
+// TouchTier is Touch's allocated fast path, split out so hot loops can
+// inline it: it returns the serving tier and true when p is already
+// allocated — the overwhelmingly common case — or false when the caller
+// must fall back to Touch for first-touch placement or a bad page id.
+func (m *Memory) TouchTier(p PageID) (Tier, bool) {
+	if int(p) < len(m.state) {
+		if st := m.state[p]; st != stateFree {
+			return Tier(st - stateFromTier), true
 		}
 	}
-	return m.tier[p], nil
+	return Slow, false
+}
+
+// touchNew performs the first-touch placement for p (and rejects bad page
+// ids). Kept out of Touch — and out of Touch's callers — so the allocated
+// fast path stays under the inlining budget.
+//
+//go:noinline
+func (m *Memory) touchNew(p PageID) (Tier, error) {
+	if int(p) >= len(m.state) {
+		return Slow, ErrBadPage
+	}
+	m.allocs++
+	var t Tier
+	switch m.cfg.Alloc {
+	case AllocFast:
+		t = Fast
+		m.fastUsed++
+		m.stats.FastAllocs++
+	case AllocFastFirst:
+		if m.fastUsed < m.cfg.FastPages {
+			t = Fast
+			m.fastUsed++
+			m.stats.FastAllocs++
+		} else {
+			t = Slow
+			m.stats.SlowAllocs++
+		}
+	default: // AllocSlow
+		t = Slow
+		m.stats.SlowAllocs++
+	}
+	m.state[p] = stateFromTier + uint8(t)
+	return t, nil
 }
 
 // TierOf returns the current tier of p without allocating. Untouched pages
 // report Slow (they would fault in wherever the AllocMode dictates, but a
 // policy asking about an untouched page treats it as not-fast).
 func (m *Memory) TierOf(p PageID) Tier {
-	if int(p) >= m.cfg.NumPages || !m.allocated[p] {
+	if int(p) >= len(m.state) || m.state[p] == stateFree {
 		return Slow
 	}
-	return m.tier[p]
+	return Tier(m.state[p] - stateFromTier)
 }
 
 // IsAllocated reports whether p has been touched.
 func (m *Memory) IsAllocated(p PageID) bool {
-	return int(p) < m.cfg.NumPages && m.allocated[p]
+	return int(p) < len(m.state) && m.state[p] != stateFree
 }
 
 // Promote moves p to the fast tier. Promoting an already-fast page is a
@@ -213,21 +249,21 @@ func (m *Memory) IsAllocated(p PageID) bool {
 // paper promotes on sampled addresses, which are touched by definition, but
 // policies replayed on traces may race with allocation).
 func (m *Memory) Promote(p PageID) error {
-	if int(p) >= m.cfg.NumPages {
+	if int(p) >= len(m.state) {
 		return ErrBadPage
 	}
-	if m.allocated[p] && m.tier[p] == Fast {
+	st := m.state[p]
+	if st == stateFromTier+uint8(Fast) {
 		return nil
 	}
 	if m.cfg.Alloc != AllocFast && m.fastUsed >= m.cfg.FastPages {
 		m.stats.FailedPromos++
 		return ErrFastFull
 	}
-	if !m.allocated[p] {
-		m.allocated[p] = true
+	if st == stateFree {
 		m.allocs++
 	}
-	m.tier[p] = Fast
+	m.state[p] = stateFromTier + uint8(Fast)
 	m.fastUsed++
 	m.stats.Promotions++
 	return nil
@@ -236,13 +272,13 @@ func (m *Memory) Promote(p PageID) error {
 // Demote moves p to the slow tier. Demoting a slow or untouched page is a
 // no-op.
 func (m *Memory) Demote(p PageID) error {
-	if int(p) >= m.cfg.NumPages {
+	if int(p) >= len(m.state) {
 		return ErrBadPage
 	}
-	if !m.allocated[p] || m.tier[p] == Slow {
+	if m.state[p] != stateFromTier+uint8(Fast) {
 		return nil
 	}
-	m.tier[p] = Slow
+	m.state[p] = stateFromTier + uint8(Slow)
 	m.fastUsed--
 	m.stats.Demotions++
 	return nil
@@ -260,7 +296,7 @@ func (m *Memory) ScanFast(fn func(PageID) bool) int {
 // address space, so repeated partial scans (kernel-style resumable walks)
 // treat all regions fairly instead of revisiting the lowest addresses.
 func (m *Memory) ScanFastFrom(start PageID, fn func(PageID) bool) int {
-	n := len(m.tier)
+	n := len(m.state)
 	if n == 0 {
 		return 0
 	}
@@ -271,7 +307,7 @@ func (m *Memory) ScanFastFrom(start PageID, fn func(PageID) bool) int {
 		if i >= n {
 			i -= n
 		}
-		if !m.allocated[i] || m.tier[i] != Fast {
+		if m.state[i] != stateFromTier+uint8(Fast) {
 			continue
 		}
 		visited++
@@ -287,10 +323,10 @@ func (m *Memory) ScanFastFrom(start PageID, fn func(PageID) bool) int {
 func (m *Memory) CheckInvariants() error {
 	fast := 0
 	allocs := 0
-	for i := range m.tier {
-		if m.allocated[i] {
+	for _, st := range m.state {
+		if st != stateFree {
 			allocs++
-			if m.tier[i] == Fast {
+			if st == stateFromTier+uint8(Fast) {
 				fast++
 			}
 		}

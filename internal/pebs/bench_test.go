@@ -1,0 +1,39 @@
+package pebs
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// BenchmarkPebsObserve measures the between-samples cost of Observe — a
+// countdown decrement — plus the periodic sample capture, with a consumer
+// draining so the ring never overflows.
+func BenchmarkPebsObserve(b *testing.B) {
+	s := MustNew(Config{Period: 13, BufferSize: 1 << 12})
+	var batch []Sample
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(mem.PageID(i&0xffff), mem.Slow, int64(i), i&7 == 0)
+		if s.Pending() >= 256 {
+			batch = s.Drain(batch[:0], 0)
+		}
+	}
+	_ = batch
+}
+
+// BenchmarkPebsDrain measures bulk sample drains.
+func BenchmarkPebsDrain(b *testing.B) {
+	s := MustNew(Config{Period: 1, BufferSize: 1 << 12})
+	batch := make([]Sample, 0, 1<<12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(mem.PageID(i), mem.Fast, int64(i), false)
+		if s.Pending() == 1<<12 {
+			batch = s.Drain(batch[:0], 0)
+		}
+	}
+	_ = batch
+}

@@ -68,23 +68,46 @@ type Stats struct {
 // Sampler subsamples an access stream into a bounded ring buffer.
 // It is not safe for concurrent use.
 type Sampler struct {
-	cfg   Config
-	count int
-	ring  []Sample
-	head  int // next write
-	tail  int // next read
-	size  int
-	stats Stats
+	cfg Config
+	// countdown is the number of accesses left until the next sample —
+	// skip-ahead sampling, so the per-access cost between samples is one
+	// decrement and one branch (and Observe inlines into hot loops).
+	countdown int
+	// accBase accumulates the access count folded in at each sample (and
+	// Reset); total accesses = accBase + (Period - countdown).
+	accBase uint64
+	ring    []Sample
+	head    int // next write
+	tail    int // next read
+	size    int
+	stats   Stats
 }
 
 // New creates a Sampler. It panics on invalid configuration, as samplers
 // are constructed from validated configs.
 func New(cfg Config) (*Sampler, error) {
+	return NewWithRing(cfg, nil)
+}
+
+// NewWithRing is New with a caller-supplied ring buffer to reuse (the
+// default BufferSize is a 2 MB allocation, worth recycling across sweep
+// cells). The ring's contents need no clearing — entries are only read
+// after being written — so reuse costs nothing. A short ring is ignored.
+func NewWithRing(cfg Config, ring []Sample) (*Sampler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Sampler{cfg: cfg, ring: make([]Sample, cfg.BufferSize)}, nil
+	if cap(ring) >= cfg.BufferSize {
+		ring = ring[:cfg.BufferSize]
+	} else {
+		ring = make([]Sample, cfg.BufferSize)
+	}
+	return &Sampler{cfg: cfg, countdown: cfg.Period, ring: ring}, nil
 }
+
+// Ring exposes the sampler's backing buffer for reuse pools; the sampler
+// must not be used afterwards.
+func (s *Sampler) Ring() []Sample { return s.ring }
 
 // MustNew is New that panics on error.
 func MustNew(cfg Config) *Sampler {
@@ -99,22 +122,51 @@ func MustNew(cfg Config) *Sampler {
 func (s *Sampler) Config() Config { return s.cfg }
 
 // Observe feeds one access into the sampler. Every Period-th access is
-// recorded; records are dropped when the ring is full.
+// recorded; records are dropped when the ring is full. Between samples it
+// is a pure countdown decrement, so it inlines into the simulator's loop.
 func (s *Sampler) Observe(page mem.PageID, tier mem.Tier, now int64, write bool) {
-	s.stats.Accesses++
-	s.count++
-	if s.count < s.cfg.Period {
+	s.countdown--
+	if s.countdown > 0 {
 		return
 	}
-	s.count = 0
+	s.sample(page, tier, now, write)
+}
+
+// sample records one sampled access and rearms the countdown. Kept out of
+// Observe so the per-access path stays under the inlining budget.
+//
+//go:noinline
+func (s *Sampler) sample(page mem.PageID, tier mem.Tier, now int64, write bool) {
+	s.countdown = s.cfg.Period
+	s.Take(page, tier, now, write)
+}
+
+// Take records one sampled access, accounting a full period of accesses
+// (the sample plus the Period-1 skipped before it). It is the firing half
+// of Observe for callers that hoist the skip countdown into their own loop
+// — the simulator keeps it in a register and calls Take when it hits zero,
+// then ObserveSkipped once at the end for the unfired remainder.
+func (s *Sampler) Take(page mem.PageID, tier mem.Tier, now int64, write bool) {
+	s.accBase += uint64(s.cfg.Period)
 	s.stats.Sampled++
 	if s.size == len(s.ring) {
 		s.stats.Dropped++
 		return
 	}
 	s.ring[s.head] = Sample{Page: page, Tier: tier, Time: now, Write: write}
-	s.head = (s.head + 1) % len(s.ring)
+	if s.head++; s.head == len(s.ring) {
+		s.head = 0
+	}
 	s.size++
+}
+
+// ObserveSkipped accounts n accesses that a countdown-hoisting caller
+// observed without reaching the sampling period, keeping Stats().Accesses
+// exact.
+func (s *Sampler) ObserveSkipped(n int) {
+	if n > 0 {
+		s.accBase += uint64(n)
+	}
 }
 
 // Pending returns the number of buffered samples.
@@ -127,19 +179,35 @@ func (s *Sampler) Drain(dst []Sample, max int) []Sample {
 	if max > 0 && max < n {
 		n = max
 	}
-	for i := 0; i < n; i++ {
-		dst = append(dst, s.ring[s.tail])
-		s.tail = (s.tail + 1) % len(s.ring)
+	// At most two bulk copies: tail→end of ring, then a wrapped remainder.
+	first := n
+	if avail := len(s.ring) - s.tail; first > avail {
+		first = avail
+	}
+	dst = append(dst, s.ring[s.tail:s.tail+first]...)
+	if rest := n - first; rest > 0 {
+		dst = append(dst, s.ring[:rest]...)
+		s.tail = rest
+	} else if s.tail += first; s.tail == len(s.ring) {
+		s.tail = 0
 	}
 	s.size -= n
 	s.stats.Drained += uint64(n)
 	return dst
 }
 
-// Stats returns a copy of the sampler statistics.
-func (s *Sampler) Stats() Stats { return s.stats }
+// Stats returns a copy of the sampler statistics. The access count is
+// derived from the countdown state, so it stays exact without per-access
+// bookkeeping.
+func (s *Sampler) Stats() Stats {
+	st := s.stats
+	st.Accesses = s.accBase + uint64(s.cfg.Period-s.countdown)
+	return st
+}
 
 // Reset clears buffered samples and the period phase but keeps statistics.
 func (s *Sampler) Reset() {
-	s.head, s.tail, s.size, s.count = 0, 0, 0, 0
+	s.accBase += uint64(s.cfg.Period - s.countdown)
+	s.head, s.tail, s.size = 0, 0, 0
+	s.countdown = s.cfg.Period
 }

@@ -158,3 +158,59 @@ func BenchmarkObserve(b *testing.B) {
 		}
 	}
 }
+
+// TestCountdownOverflowDrop is the regression test for the countdown
+// sampler rewrite: with the ring full, every further sample must be
+// dropped and counted, the countdown must keep rearming (sampling cadence
+// unchanged), and the derived access count must stay exact through
+// overflow, drain, and Reset.
+func TestCountdownOverflowDrop(t *testing.T) {
+	s := MustNew(Config{Period: 3, BufferSize: 4})
+	total := 3 * 10 // 10 samples: 4 buffered + 6 dropped
+	for i := 0; i < total; i++ {
+		s.Observe(mem.PageID(i), mem.Slow, int64(i), false)
+	}
+	st := s.Stats()
+	if st.Accesses != uint64(total) {
+		t.Errorf("Accesses = %d, want %d", st.Accesses, total)
+	}
+	if st.Sampled != 10 {
+		t.Errorf("Sampled = %d, want 10", st.Sampled)
+	}
+	if st.Dropped != 6 {
+		t.Errorf("Dropped = %d, want 6", st.Dropped)
+	}
+	if s.Pending() != 4 {
+		t.Errorf("Pending = %d, want 4", s.Pending())
+	}
+	// The buffered samples are the first four; drops never overwrite.
+	got := s.Drain(nil, 0)
+	for i, smp := range got {
+		if want := mem.PageID(3*i + 2); smp.Page != want {
+			t.Errorf("sample %d: page %d, want %d", i, smp.Page, want)
+		}
+	}
+	// A drained ring resumes capturing on the existing countdown phase:
+	// two more accesses complete the period after the one observed above.
+	s.Observe(1000, mem.Fast, 1, false)
+	if s.Pending() != 0 {
+		t.Fatalf("sample fired mid-period")
+	}
+	s.Observe(1001, mem.Fast, 2, false)
+	s.Observe(1002, mem.Fast, 3, false)
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d after a full period, want 1", s.Pending())
+	}
+	if st := s.Stats(); st.Accesses != uint64(total+3) {
+		t.Errorf("Accesses after drain = %d, want %d", st.Accesses, total+3)
+	}
+	// Reset clears the phase but keeps statistics exact.
+	s.Observe(2000, mem.Fast, 4, false)
+	s.Reset()
+	if st := s.Stats(); st.Accesses != uint64(total+4) {
+		t.Errorf("Accesses after Reset = %d, want %d", st.Accesses, total+4)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending after Reset = %d, want 0", s.Pending())
+	}
+}

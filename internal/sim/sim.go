@@ -86,7 +86,22 @@ type Config struct {
 	Progress func(done, total int64)
 	// ProgressEvery is the Progress callback period in ops (default 65536).
 	ProgressEvery int64
+	// BatchOps is the number of operations fetched from the workload per
+	// trace.BatchSource call (default DefaultBatchOps). Purely a throughput
+	// knob: any value produces identical results, and 1 forces the
+	// single-op fetch schedule (the reference path the determinism tests
+	// compare against).
+	BatchOps int
+	// Scratch, when non-nil, supplies reusable buffers (access batches,
+	// histograms) so sweeps can recycle allocations across cells. A Scratch
+	// must not be shared by concurrent runs.
+	Scratch *Scratch
 }
+
+// DefaultBatchOps is the default workload fetch batch: large enough to
+// amortize per-batch dispatch to nothing, small enough that the access
+// buffer stays cache-resident.
+const DefaultBatchOps = 512
 
 // DefaultConfig returns simulation parameters for a workload and policy at
 // the given fast-tier capacity.
@@ -291,6 +306,109 @@ func (s *simulator) updateUtilization() {
 	s.winStart = s.now
 }
 
+// Scratch holds the large per-run buffers — the access batch, the sample
+// batch, and the latency/series histograms — so repeated runs (sweep cells)
+// can reuse them instead of reallocating ~100 KB per cell. The zero value
+// is ready to use; a nil *Scratch is also valid everywhere and simply
+// allocates fresh. Reuse never leaks state between runs: slices are
+// truncated and histograms fully reset (layout mismatches allocate anew),
+// and everything a Result retains (series points) is freshly allocated.
+type Scratch struct {
+	accs    []trace.Access
+	samples []tier.Sample
+	ring    []pebs.Sample
+	lastAcc []int64
+	latHist *stats.Histogram
+	series  *stats.TimeSeries
+	slow    *stats.TimeSeries
+}
+
+// ringBuf returns the pooled PEBS ring (nil is fine: the sampler then
+// allocates). Ring contents are never read before being written, so no
+// clearing is needed on reuse.
+func (sc *Scratch) ringBuf() []pebs.Sample {
+	if sc == nil {
+		return nil
+	}
+	return sc.ring
+}
+
+// lastAccessBuf returns a zeroed recency array of length n, reusing the
+// pooled one when large enough.
+func (sc *Scratch) lastAccessBuf(n int) []int64 {
+	if sc == nil || cap(sc.lastAcc) < n {
+		return make([]int64, n)
+	}
+	la := sc.lastAcc[:n]
+	clear(la)
+	return la
+}
+
+// accessBuf returns an empty access slice with at least the given capacity.
+func (sc *Scratch) accessBuf(capacity int) []trace.Access {
+	if sc == nil || cap(sc.accs) < capacity {
+		return make([]trace.Access, 0, capacity)
+	}
+	return sc.accs[:0]
+}
+
+// sampleBuf returns an empty sample slice with at least the given capacity.
+func (sc *Scratch) sampleBuf(capacity int) []tier.Sample {
+	if sc == nil || cap(sc.samples) < capacity {
+		return make([]tier.Sample, 0, capacity)
+	}
+	return sc.samples[:0]
+}
+
+// histogram returns a reset histogram with the requested layout, reusing
+// the pooled one when its layout matches.
+func (sc *Scratch) histogram(lo, hi int64, buckets int) *stats.Histogram {
+	if sc == nil {
+		return stats.NewHistogram(lo, hi, buckets)
+	}
+	if h := sc.latHist; h != nil {
+		if mn, mx, b := h.Layout(); mn == lo && mx == hi && b == buckets {
+			h.Reset()
+			return h
+		}
+	}
+	sc.latHist = stats.NewHistogram(lo, hi, buckets)
+	return sc.latHist
+}
+
+// timeSeries returns a reset series with the requested layout; slowSlot
+// selects which of the two pooled series (latency vs slow-share) to reuse.
+func (sc *Scratch) timeSeries(slowSlot bool, window, lo, hi int64, buckets int) *stats.TimeSeries {
+	if sc == nil {
+		return stats.NewTimeSeries(window, lo, hi, buckets)
+	}
+	p := &sc.series
+	if slowSlot {
+		p = &sc.slow
+	}
+	if t := *p; t != nil {
+		if w, l, h, b := t.Layout(); w == window && l == lo && h == hi && b == buckets {
+			t.Reset()
+			return t
+		}
+	}
+	*p = stats.NewTimeSeries(window, lo, hi, buckets)
+	return *p
+}
+
+// release stores the run's buffers back for the next reuse.
+func (sc *Scratch) release(accs []trace.Access, samples []tier.Sample, ring []pebs.Sample, lastAcc []int64) {
+	if sc == nil {
+		return
+	}
+	sc.accs = accs[:0]
+	sc.samples = samples[:0]
+	sc.ring = ring
+	if lastAcc != nil {
+		sc.lastAcc = lastAcc
+	}
+}
+
 // Run executes the simulation and returns its metrics.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
@@ -313,107 +431,284 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	smplr, err := pebs.New(cfg.Pebs)
+	smplr, err := pebs.NewWithRing(cfg.Pebs, cfg.Scratch.ringBuf())
 	if err != nil {
 		return nil, err
 	}
+	// Sample-driven policies declare (via tier.RecencyFree) that they never
+	// read Env.LastAccess, which lets the loop skip the per-access recency
+	// store — a random 8-byte write per touch — and the array entirely.
+	_, recencyFree := cfg.Policy.(tier.RecencyFree)
 	s := &simulator{
-		cfg:        cfg,
-		memory:     memory,
-		smplr:      smplr,
-		cache:      cachesim.NewDefault(),
-		rng:        xrand.New(cfg.Seed),
-		lastAccess: make([]int64, numPages),
+		cfg:    cfg,
+		memory: memory,
+		smplr:  smplr,
+		cache:  cachesim.NewDefault(),
+		rng:    xrand.New(cfg.Seed),
 		// Metadata lives far from application data in the modeled address
 		// space so the two contend only through cache capacity.
 		metaBase: int64(numPages)*cfg.PageBytes + (1 << 40),
 	}
+	if !recencyFree {
+		s.lastAccess = cfg.Scratch.lastAccessBuf(numPages)
+	}
 	e := &env{s: s}
 	cfg.Policy.Attach(e)
 	faultPolicy, _ := cfg.Policy.(tier.FaultDriven)
+	// A policy exposing its arming bitmap lets the loop test faults with
+	// one inline load instead of a WantsFault interface call per access.
+	var faultBits []uint64
+	if fb, ok := cfg.Policy.(tier.FaultBitmapped); ok {
+		faultBits = fb.FaultBitmap()
+	}
 
-	latHist := stats.NewHistogram(0, cfg.LatHistMaxNs, 8192)
-	series := stats.NewTimeSeries(cfg.WindowNs, 0, cfg.LatHistMaxNs, 4096)
-	slowSeries := stats.NewTimeSeries(cfg.WindowNs, 0, 1001, 2)
-	batch := make([]tier.Sample, 0, cfg.BatchDrain*2)
-	var buf []trace.Access
-	nextTick := cfg.TickNs
+	sc := cfg.Scratch
+	latHist := sc.histogram(0, cfg.LatHistMaxNs, 8192)
+	series := sc.timeSeries(false, cfg.WindowNs, 0, cfg.LatHistMaxNs, 4096)
+	slowSeries := sc.timeSeries(true, cfg.WindowNs, 0, 1001, 2)
+	batch := sc.sampleBuf(cfg.BatchDrain * 2)
+
+	batchOps := cfg.BatchOps
+	if batchOps <= 0 {
+		batchOps = DefaultBatchOps
+	}
+	// Most workloads touch a handful of pages per op; the batch buffer is
+	// preallocated for that and grows (amortized, reused across batches and
+	// — via Scratch — across runs) for denser ops.
+	buf := sc.accessBuf(batchOps * 4)
+	src := trace.AsBatchSource(cfg.Workload)
+	// A PackedViewSource (in-memory replay) hands out batches as read-only
+	// slices of its own packed storage; the loop decodes entries straight
+	// into registers, so replay pays neither a copy into the scratch buffer
+	// nor an []Access materialization.
+	packedSrc, _ := src.(trace.PackedViewSource)
+
+	// Hot-loop state is hoisted into locals: the per-tier access latency is
+	// constant between utilization updates (ticks), and the cfg fields and
+	// simulator arrays would otherwise be reloaded per access. State a
+	// policy callback can observe or mutate (winBytes via migrations) is
+	// written back before every OnSamples/Tick/OnFault and reloaded after,
+	// so the sequence of float additions — and therefore every rounded
+	// intermediate — is identical to the unhoisted loop's.
+	latFast := cfg.Latency.AccessNs(mem.Fast, s.util[mem.Fast])
+	latSlow := cfg.Latency.AccessNs(mem.Slow, s.util[mem.Slow])
+	trafficScale := cfg.TrafficScale
+	faultCost := cfg.FaultCostNs
+	appCache := cfg.AppCacheModel
+	batchDrain := cfg.BatchDrain
+	tickNs := cfg.TickNs
+	nextTick := tickNs
+	lastAccess := s.lastAccess
+	winSlow, winFast := s.winBytes[mem.Slow], s.winBytes[mem.Fast]
+	// The PEBS skip countdown lives in a register here rather than in the
+	// sampler, so the between-samples cost is one decrement; the unfired
+	// remainder is folded back at the end so access statistics stay exact.
+	pebsPeriod := cfg.Pebs.Period
+	pebsLeft := pebsPeriod
+
 	progressEvery := cfg.ProgressEvery
 	if progressEvery <= 0 {
 		progressEvery = 65536
 	}
+	progressLeft := progressEvery
+
+	// The slow-tier share series receives only the values 0 and 1000, so a
+	// whole window collapses to two counts. The loop accumulates them here
+	// and flushes one ObserveN pair per window — identical to per-op
+	// observation because a window's histogram is a multiset: the stamp
+	// passed at flush lies inside the window (its first observation time),
+	// and the window-boundary arithmetic mirrors TimeSeries.advance exactly.
+	windowNs := cfg.WindowNs
+	var slowC, fastC uint64 // counts accumulated for the open window
+	var slowStamp int64     // first observation time of the open window
+	slowWinEnd := int64(-1) // exclusive end of the open window; -1 = none
 
 	// cancelCheckEvery bounds cancellation latency to a few thousand ops
-	// without putting a context poll on every operation.
+	// without putting a context poll on every operation; the countdown
+	// replaces the old per-op modulo check and is consumed at batch
+	// granularity.
 	const cancelCheckEvery = 1024
+	cancelLeft := int64(0)
 
-	for op := int64(0); op < cfg.Ops; op++ {
-		if cfg.Ctx != nil && op%cancelCheckEvery == 0 {
+	op := int64(0)
+	for op < cfg.Ops {
+		if cfg.Ctx != nil && cancelLeft <= 0 {
 			if err := cfg.Ctx.Err(); err != nil {
 				return nil, &CanceledError{OpsDone: op, Err: err}
 			}
+			cancelLeft = cancelCheckEvery
 		}
-		if cfg.Progress != nil && op%progressEvery == 0 && op > 0 {
-			cfg.Progress(op, cfg.Ops)
+		want := batchOps
+		if rem := cfg.Ops - op; rem < int64(want) {
+			want = int(rem)
 		}
-		buf = cfg.Workload.NextOp(buf[:0])
-		opLat := 0.0
-		for _, a := range buf {
-			page := a.Page >> pageShift
-			t, err := memory.Touch(page)
-			if err != nil {
-				return nil, fmt.Errorf("sim: workload %q touched bad page %d: %w",
-					cfg.Workload.Name(), a.Page, err)
+		var pcur []uint32
+		cur := buf
+		if packedSrc != nil {
+			pcur = packedSrc.NextPackedView(want)
+		} else {
+			buf = src.NextBatch(buf[:0], want)
+			cur = buf
+		}
+		n := len(cur)
+		if packedSrc != nil {
+			n = len(pcur)
+		}
+		if n == 0 {
+			// The source can produce no more ops — only failed trace
+			// replays do this. Account one empty op exactly like the
+			// single-op path: zero latency observed, clock unchanged.
+			latHist.Observe(0)
+			series.Observe(s.now, 0)
+			op++
+			cancelLeft--
+			if progressLeft--; progressLeft <= 0 {
+				if cfg.Progress != nil && op < cfg.Ops {
+					cfg.Progress(op, cfg.Ops)
+				}
+				progressLeft = progressEvery
 			}
-			opLat += cfg.Latency.AccessNs(t, s.util[t])
-			s.lastAccess[page] = s.now
-			s.winBytes[t] += cfg.TrafficScale
-			if t == mem.Slow {
-				slowSeries.Observe(s.now, 1000)
-			} else {
-				slowSeries.Observe(s.now, 0)
+			continue
+		}
+		for i := 0; i < n; {
+			opLat := 0.0
+			now := s.now // constant until the op's end, like the clock itself
+			var nFast, nSlow uint64
+			for {
+				var a trace.Access
+				if pcur != nil {
+					a = trace.UnpackAccess(pcur[i])
+				} else {
+					a = cur[i]
+				}
+				i++
+				page := a.Page >> pageShift
+				t, ok := memory.TouchTier(page)
+				if !ok {
+					var err error
+					if t, err = memory.Touch(page); err != nil {
+						return nil, fmt.Errorf("sim: workload %q touched bad page %d: %w",
+							cfg.Workload.Name(), a.Page, err)
+					}
+				}
+				if lastAccess != nil {
+					lastAccess[page] = now
+				}
+				if t == mem.Fast {
+					winFast += trafficScale
+					opLat += latFast
+					nFast++
+				} else {
+					winSlow += trafficScale
+					opLat += latSlow
+					nSlow++
+				}
+				if faultPolicy != nil {
+					armed := false
+					if faultBits != nil {
+						armed = faultBits[page>>6]&(1<<(page&63)) != 0
+					} else {
+						armed = faultPolicy.WantsFault(page)
+					}
+					if armed {
+						// The handler may promote, charging migration bytes,
+						// so the hoisted window counters sync around it.
+						s.winBytes[mem.Slow], s.winBytes[mem.Fast] = winSlow, winFast
+						faultPolicy.OnFault(page, t)
+						winSlow, winFast = s.winBytes[mem.Slow], s.winBytes[mem.Fast]
+						s.faults++
+						opLat += faultCost
+					}
+				}
+				if pebsLeft--; pebsLeft <= 0 {
+					smplr.Take(page, t, now, a.Write)
+					pebsLeft = pebsPeriod
+				}
+				if appCache {
+					// Within-page line offset: hash-derived so hot pages span
+					// multiple lines, as real objects do. Use the 4 KB page id
+					// so cache behaviour is granularity-independent.
+					off := int64(xrand.Hash64(uint64(a.Page)^uint64(op)) & 0xfc0)
+					s.cache.Access(int64(a.Page)*mem.RegularPageBytes+off, cachesim.App)
+				}
+				if a.EndOp {
+					break
+				}
 			}
+			// Slow-tier share bookkeeping: flush the previous window when
+			// this op's timestamp leaves it, then accumulate. All of an
+			// op's accesses share one timestamp, so per-op is exact.
+			if now >= slowWinEnd {
+				if slowC != 0 {
+					slowSeries.ObserveN(slowStamp, 1000, slowC)
+					slowC = 0
+				}
+				if fastC != 0 {
+					slowSeries.ObserveN(slowStamp, 0, fastC)
+					fastC = 0
+				}
+				slowStamp = now
+				slowWinEnd = now - now%windowNs + windowNs
+			}
+			slowC += nSlow
+			fastC += nFast
+			// Interference from tiering work drains into application time
+			// at a bounded per-op rate, modeling shared-resource contention
+			// without attributing a whole cooling sweep to a single unlucky
+			// op.
+			if s.interference > 0 {
+				take := opLat * 0.5
+				if take > s.interference {
+					take = s.interference
+				}
+				opLat += take
+				s.interference -= take
+			}
+			s.now += int64(opLat)
+			latHist.Observe(int64(opLat))
+			series.Observe(s.now, int64(opLat))
+			op++
+			cancelLeft--
 
-			if faultPolicy != nil && faultPolicy.WantsFault(page) {
-				faultPolicy.OnFault(page, t)
-				s.faults++
-				opLat += cfg.FaultCostNs
+			if smplr.Pending() >= batchDrain {
+				// Sample handling can migrate pages, charging window bytes.
+				s.winBytes[mem.Slow], s.winBytes[mem.Fast] = winSlow, winFast
+				batch = smplr.Drain(batch[:0], 0)
+				cfg.Policy.OnSamples(batch)
+				winSlow, winFast = s.winBytes[mem.Slow], s.winBytes[mem.Fast]
 			}
-			smplr.Observe(page, t, s.now, a.Write)
-			if cfg.AppCacheModel {
-				// Within-page line offset: hash-derived so hot pages span
-				// multiple lines, as real objects do. Use the 4 KB page id
-				// so cache behaviour is granularity-independent.
-				off := int64(xrand.Hash64(uint64(a.Page)^uint64(op)) & 0xfc0)
-				s.cache.Access(int64(a.Page)*mem.RegularPageBytes+off, cachesim.App)
+			if s.now >= nextTick {
+				s.winBytes[mem.Slow], s.winBytes[mem.Fast] = winSlow, winFast
+				for s.now >= nextTick {
+					cfg.Policy.Tick()
+					cfg.Workload.AdvanceTime(s.now)
+					s.updateUtilization()
+					nextTick += tickNs
+				}
+				winSlow, winFast = s.winBytes[mem.Slow], s.winBytes[mem.Fast]
+				// Utilization moved; refresh the cached tier latencies.
+				latFast = cfg.Latency.AccessNs(mem.Fast, s.util[mem.Fast])
+				latSlow = cfg.Latency.AccessNs(mem.Slow, s.util[mem.Slow])
 			}
-		}
-		// Interference from tiering work drains into application time at a
-		// bounded per-op rate, modeling shared-resource contention without
-		// attributing a whole cooling sweep to a single unlucky op.
-		if s.interference > 0 {
-			take := opLat * 0.5
-			if take > s.interference {
-				take = s.interference
+			if progressLeft--; progressLeft <= 0 {
+				if cfg.Progress != nil && op < cfg.Ops {
+					cfg.Progress(op, cfg.Ops)
+				}
+				progressLeft = progressEvery
 			}
-			opLat += take
-			s.interference -= take
-		}
-		s.now += int64(opLat)
-		latHist.Observe(int64(opLat))
-		series.Observe(s.now, int64(opLat))
-
-		if smplr.Pending() >= cfg.BatchDrain {
-			batch = smplr.Drain(batch[:0], 0)
-			cfg.Policy.OnSamples(batch)
-		}
-		for s.now >= nextTick {
-			cfg.Policy.Tick()
-			cfg.Workload.AdvanceTime(s.now)
-			s.updateUtilization()
-			nextTick += cfg.TickNs
 		}
 	}
+
+	s.winBytes[mem.Slow], s.winBytes[mem.Fast] = winSlow, winFast
+	// Flush the final slow-share window before the series is read.
+	if slowC != 0 {
+		slowSeries.ObserveN(slowStamp, 1000, slowC)
+	}
+	if fastC != 0 {
+		slowSeries.ObserveN(slowStamp, 0, fastC)
+	}
+	smplr.ObserveSkipped(pebsPeriod - pebsLeft)
+	sc.release(buf, batch, smplr.Ring(), s.lastAccess)
 
 	// A final clock notification marks the end-of-run virtual time for
 	// stream observers — a trace capture's last time mark records the

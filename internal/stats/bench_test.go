@@ -1,0 +1,40 @@
+package stats
+
+import "testing"
+
+// BenchmarkTimeSeriesObserve measures the per-op cost of the windowed
+// series: the window fast path plus one histogram observation.
+func BenchmarkTimeSeriesObserve(b *testing.B) {
+	t := NewTimeSeries(100_000_000, 0, 50_000, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		now += 150
+		t.Observe(now, int64(i&0x3fff))
+	}
+}
+
+// BenchmarkHistogramObserve measures one histogram observation with the
+// reciprocal bucketing fast path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(0, 50_000, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0x7fff))
+	}
+}
+
+// BenchmarkTimeSeriesObserveN measures the batched observation path the
+// simulator's slow-share accounting uses.
+func BenchmarkTimeSeriesObserveN(b *testing.B) {
+	t := NewTimeSeries(100_000_000, 0, 1001, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		now += 150
+		t.ObserveN(now, 1000, 3)
+	}
+}

@@ -9,6 +9,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -79,16 +80,18 @@ func percentileSorted(sorted []float64, p float64) float64 {
 // what the simulator uses for median-latency time series without retaining
 // every sample.
 type Histogram struct {
-	min, max   int64
-	width      int64
-	counts     []uint64
-	total      uint64
-	sum        int64
-	underflow  uint64
-	overflow   uint64
-	minSeen    int64
-	maxSeen    int64
-	everObserv bool
+	min, max  int64
+	width     int64
+	recip     uint64 // ceil(2^64/width) when the reciprocal fast path applies, else 0
+	counts    []uint64
+	total     uint64
+	sum       int64
+	underflow uint64
+	overflow  uint64
+	// minSeen/maxSeen start at the extreme sentinels so Observe needs no
+	// first-observation branch; they are only read when total > 0.
+	minSeen int64
+	maxSeen int64
 }
 
 // NewHistogram creates a histogram covering [min, max) with the given number
@@ -104,20 +107,45 @@ func NewHistogram(min, max int64, buckets int) *Histogram {
 	if width == 0 {
 		width = 1
 	}
-	return &Histogram{min: min, max: max, width: width, counts: make([]uint64, buckets)}
+	h := &Histogram{
+		min: min, max: max, width: width, counts: make([]uint64, buckets),
+		minSeen: math.MaxInt64, maxSeen: math.MinInt64,
+	}
+	// Bucketing divides by width on every Observe; a runtime integer divide
+	// is ~20 cycles, so precompute a fixed-point reciprocal instead. With
+	// m = ceil(2^64/d), hi64((v-min)*m) == (v-min)/d exactly whenever
+	// (v-min)*(m*d - 2^64) < 2^64; the residual m*d - 2^64 is < d, so
+	// span*width < 2^63 is a safe (and in practice always true) gate.
+	// width == 1 needs no division at all and keeps recip == 0.
+	if span := uint64(max - min); width > 1 && span < (1<<63)/uint64(width) {
+		h.recip = ^uint64(0)/uint64(width) + 1
+	}
+	return h
+}
+
+// bucket maps an in-range value to its bucket index.
+func (h *Histogram) bucket(v int64) int {
+	d := uint64(v - h.min)
+	if h.recip != 0 {
+		hi, _ := bits.Mul64(d, h.recip)
+		return int(hi)
+	}
+	if h.width == 1 {
+		return int(d)
+	}
+	return int(d / uint64(h.width))
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
 	h.total++
 	h.sum += v
-	if !h.everObserv || v < h.minSeen {
+	if v < h.minSeen {
 		h.minSeen = v
 	}
-	if !h.everObserv || v > h.maxSeen {
+	if v > h.maxSeen {
 		h.maxSeen = v
 	}
-	h.everObserv = true
 	switch {
 	case v < h.min:
 		h.underflow++
@@ -126,8 +154,41 @@ func (h *Histogram) Observe(v int64) {
 		h.overflow++
 		h.counts[len(h.counts)-1]++
 	default:
-		h.counts[(v-h.min)/h.width]++
+		h.counts[h.bucket(v)]++
 	}
+}
+
+// ObserveN records n occurrences of one value — the batched form hot loops
+// use to turn n identical Observe calls into one. It is exactly equivalent
+// to calling Observe(v) n times.
+func (h *Histogram) ObserveN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.total += n
+	h.sum += v * int64(n)
+	if v < h.minSeen {
+		h.minSeen = v
+	}
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	switch {
+	case v < h.min:
+		h.underflow += n
+		h.counts[0] += n
+	case v >= h.max:
+		h.overflow += n
+		h.counts[len(h.counts)-1] += n
+	default:
+		h.counts[h.bucket(v)] += n
+	}
+}
+
+// Layout returns the bucket layout, so pooled histograms can be matched to
+// a requested shape before reuse.
+func (h *Histogram) Layout() (min, max int64, buckets int) {
+	return h.min, h.max, len(h.counts)
 }
 
 // Count returns the number of observed values.
@@ -186,7 +247,7 @@ func (h *Histogram) Reset() {
 		h.counts[i] = 0
 	}
 	h.total, h.sum, h.underflow, h.overflow = 0, 0, 0, 0
-	h.everObserv = false
+	h.minSeen, h.maxSeen = math.MaxInt64, math.MinInt64
 }
 
 // EMA is an exponential-moving-average access score with period-based
@@ -282,6 +343,27 @@ func NewTimeSeries(window, lo, hi int64, buckets int) *TimeSeries {
 
 // Observe records value v at virtual time now. Times must be non-decreasing.
 func (t *TimeSeries) Observe(now int64, v int64) {
+	if !t.started || now >= t.current+t.window {
+		t.advance(now)
+	}
+	t.hist.Observe(v)
+}
+
+// ObserveN records n occurrences of value v at virtual time now — exactly
+// equivalent to n Observe(now, v) calls, amortizing the window bookkeeping.
+// n == 0 records nothing (and does not open a window).
+func (t *TimeSeries) ObserveN(now int64, v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if !t.started || now >= t.current+t.window {
+		t.advance(now)
+	}
+	t.hist.ObserveN(v, n)
+}
+
+// advance opens the observation's window, flushing any completed ones.
+func (t *TimeSeries) advance(now int64) {
 	if !t.started {
 		t.current = now - now%t.window
 		t.started = true
@@ -290,7 +372,6 @@ func (t *TimeSeries) Observe(now int64, v int64) {
 		t.flush()
 		t.current += t.window
 	}
-	t.hist.Observe(v)
 }
 
 func (t *TimeSeries) flush() {
@@ -311,6 +392,22 @@ func (t *TimeSeries) Points() []SeriesPoint {
 		t.flush()
 	}
 	return t.points
+}
+
+// Layout returns the window duration and per-window histogram layout, so
+// pooled series can be matched to a requested shape before reuse.
+func (t *TimeSeries) Layout() (window, lo, hi int64, buckets int) {
+	return t.window, t.lo, t.hi, t.buckets
+}
+
+// Reset returns the series to its just-constructed state while keeping the
+// (large) per-window histogram allocation. The accumulated points are
+// released, not recycled: callers of Points own the returned slice.
+func (t *TimeSeries) Reset() {
+	t.hist.Reset()
+	t.points = nil
+	t.current = 0
+	t.started = false
 }
 
 // SteadyState returns the mean of the medians of the last n windows, which

@@ -59,6 +59,29 @@ type Policy interface {
 	MetadataBytes() int64
 }
 
+// RecencyFree is implemented by policies that never call Env.LastAccess
+// (sample-driven systems, per its contract). Declaring it lets the
+// simulator skip the per-access recency bookkeeping — a random 8-byte
+// store per touch — without changing any result the policy can observe.
+type RecencyFree interface {
+	// RecencyFree is a marker; implementations promise LastAccess is
+	// never consulted.
+	RecencyFree()
+}
+
+// FaultBitmapped is an optional refinement of FaultDriven: the policy
+// exposes its live fault-arming bitmap (bit p&63 of word p>>6 set means an
+// access to page p faults), letting the simulator test arming with one
+// inline load instead of an interface call per access and invoke OnFault
+// only for armed pages. The returned slice must be the policy's working
+// bitmap for its whole lifetime (mutated in place, never reallocated), and
+// WantsFault must agree with it exactly.
+type FaultBitmapped interface {
+	FaultDriven
+	// FaultBitmap returns the live arming bitmap.
+	FaultBitmap() []uint64
+}
+
 // FaultDriven is implemented by recency-based systems that react to page
 // (hint) faults rather than hardware samples. The simulator consults
 // WantsFault on every access — implementations must keep it O(1) — and

@@ -1,0 +1,293 @@
+package trace
+
+import "repro/internal/mem"
+
+// BatchSource is the bulk form of Source: one call produces up to max whole
+// operations instead of one, amortizing the per-op interface dispatch the
+// simulator's hot loop would otherwise pay. Operation boundaries inside the
+// flat access slice are carried by Access.EndOp, set on the final access of
+// every operation.
+//
+// The contract mirrors NextOp's, with two additions:
+//
+//   - A call may append fewer than max operations (sources with op-count-
+//     triggered behaviour end a batch right before the triggering op so the
+//     simulator's clock notifications stay on the single-op schedule, see
+//     ShiftingZipfSource.NextBatch); callers simply request again. A call
+//     that appends nothing means the source can no longer produce ops at
+//     all — only failed trace replays do that — and callers account the
+//     missing operations as empty, exactly like repeated empty NextOps.
+//   - Batching must not change the produced stream: for any interleaving
+//     of NextBatch sizes, the concatenated operations are identical to
+//     per-op NextOp calls. Time-driven behaviour keyed on AdvanceTime is
+//     the one hazard; see AsBatchSource.
+type BatchSource interface {
+	Source
+	// NextBatch appends up to max whole operations to dst, marking each
+	// operation's final access with EndOp, and returns the extended slice.
+	NextBatch(dst []Access, max int) []Access
+}
+
+// ClockFree is implemented by sources that can promise their op stream is
+// completely independent of the virtual clock: AdvanceTime notifications
+// change nothing they emit, and they perform no shift timestamping a
+// replay could miss. For such sources, one generated stream is valid for
+// every simulation that consumes the same operation count — the sweep
+// engine exploits this by generating once and replaying from memory across
+// cells (see ReplaySource). The report is per-instance, because many
+// sources are clock-free only in some configurations (e.g. a CacheLib
+// instance with no scheduled bulk shift).
+type ClockFree interface {
+	// ClockFree reports whether this instance's stream is independent of
+	// AdvanceTime and of shift timestamping.
+	ClockFree() bool
+}
+
+// ReplaySource replays a pre-generated, immutable op stream from memory.
+// Many ReplaySources can share one stream concurrently — each keeps only a
+// cursor — which is how sweeps amortize generation across cells: the
+// stream is generated once and every other cell consumes it by reference.
+// Storage is packed at 4 bytes per access (page<<2 | endOp<<1 | write) and
+// handed out zero-copy through NextPackedView, so replay costs a quarter
+// of an []Access stream's memory traffic and no regeneration. Like every
+// Source it is infinite: the stream wraps around at the end.
+type ReplaySource struct {
+	name     string
+	numPages int
+	packed   []uint32 // bit0 write, bit1 end-of-op, bits 2+ page id
+	opStarts []int32  // packed index of each op's first access, plus end sentinel
+	pos      int      // current op index
+}
+
+// packedPageLimit is the largest page id the packed encoding carries;
+// larger page spaces fall back to live generation.
+const packedPageLimit = 1 << 30
+
+// NewReplaySource builds the shared immutable stream for a ReplaySource by
+// drawing ops whole operations from src (which should be clock-free). The
+// returned prototype is positioned at the start; Fork cheap-copies it for
+// concurrent consumers. It returns nil if src stops producing early, a
+// page id exceeds the packed encoding, or the stream would exceed
+// maxAccesses — callers then fall back to live generation. recycle, when
+// non-nil, donates a retired stream's backing arrays; no clearing is
+// needed since reads never pass the written length.
+func NewReplaySource(src Source, ops int64, maxAccesses int, recycle *ReplaySource) *ReplaySource {
+	bs := AsBatchSource(src)
+	var packed []uint32
+	var opStarts []int32
+	if recycle != nil {
+		packed = recycle.packed[:0]
+		opStarts = recycle.opStarts[:0]
+	}
+	if int64(cap(packed)) < min(int64(maxAccesses), ops) {
+		packed = make([]uint32, 0, min(int64(maxAccesses), ops*4))
+	}
+	if int64(cap(opStarts)) < ops+1 {
+		opStarts = make([]int32, 0, ops+1)
+	}
+	// opStarts[i] is op i's first access; the op ends where the next one
+	// starts, so recording each op's end index after the leading 0 yields
+	// starts and the final sentinel in one pass.
+	opStarts = append(opStarts, 0)
+	var chunk []Access // generation staging, stays cache-hot
+	var generated int64
+	sized := false
+	for generated < ops {
+		want := int64(4096)
+		if rem := ops - generated; rem < want {
+			want = rem
+		}
+		chunk = bs.NextBatch(chunk[:0], int(want))
+		if len(chunk) == 0 || len(packed)+len(chunk) > maxAccesses ||
+			len(packed)+len(chunk) > (1<<31-2) {
+			return nil
+		}
+		// Bulk-extend, then index: the pack loop runs without per-element
+		// append bookkeeping.
+		base := len(packed)
+		if cap(packed)-base < len(chunk) {
+			grown := make([]uint32, base, (base+len(chunk))*2)
+			copy(grown, packed)
+			packed = grown
+		}
+		packed = packed[:base+len(chunk)]
+		out := packed[base:]
+		for j, a := range chunk {
+			if a.Page >= packedPageLimit {
+				return nil
+			}
+			v := uint32(a.Page) << 2
+			if a.Write {
+				v |= 1
+			}
+			if a.EndOp {
+				v |= 2
+				generated++
+				opStarts = append(opStarts, int32(base+j+1))
+			}
+			out[j] = v
+		}
+		// Size the stream once from the first batch's measured access
+		// density instead of paying repeated append-growth copies of a
+		// multi-MB slice; at most the small first batch is re-copied.
+		if !sized && generated > 0 {
+			sized = true
+			if generated < ops {
+				projected := int(float64(len(packed)) / float64(generated) * float64(ops) * 1.07)
+				if projected > maxAccesses {
+					projected = maxAccesses
+				}
+				if cap(packed) < projected {
+					grown := make([]uint32, len(packed), projected)
+					copy(grown, packed)
+					packed = grown
+				}
+			}
+		}
+	}
+	return &ReplaySource{
+		name:     src.Name(),
+		numPages: src.NumPages(),
+		packed:   packed,
+		opStarts: opStarts,
+	}
+}
+
+// Fork returns an independent cursor over the same shared stream.
+func (r *ReplaySource) Fork() *ReplaySource {
+	cp := *r
+	cp.pos = 0
+	return &cp
+}
+
+// Ops returns the number of operations in the shared stream.
+func (r *ReplaySource) Ops() int64 { return int64(len(r.opStarts)) - 1 }
+
+// Name implements Source with the recorded source's name.
+func (r *ReplaySource) Name() string { return r.name }
+
+// NumPages implements Source.
+func (r *ReplaySource) NumPages() int { return r.numPages }
+
+// AdvanceTime implements Source; the stream is clock-free by construction.
+func (r *ReplaySource) AdvanceTime(int64) {}
+
+// ClockFree implements the marker: a replayed clock-free stream is itself
+// clock-free.
+func (r *ReplaySource) ClockFree() bool { return true }
+
+// UnpackAccess decodes one packed stream entry (see PackedViewSource).
+func UnpackAccess(v uint32) Access {
+	return Access{Page: mem.PageID(v >> 2), Write: v&1 != 0, EndOp: v&2 != 0}
+}
+
+// decode appends packed accesses [lo, hi) to dst.
+func (r *ReplaySource) decode(dst []Access, lo, hi int32) []Access {
+	for _, v := range r.packed[lo:hi] {
+		dst = append(dst, UnpackAccess(v))
+	}
+	return dst
+}
+
+// NextOp implements Source. The packed stream carries EndOp bits, but the
+// Access contract says single-op fetches leave EndOp false, so the final
+// access's flag is cleared.
+func (r *ReplaySource) NextOp(dst []Access) []Access {
+	lo, hi := r.opStarts[r.pos], r.opStarts[r.pos+1]
+	if r.pos++; r.pos >= int(r.Ops()) {
+		r.pos = 0
+	}
+	dst = r.decode(dst, lo, hi)
+	dst[len(dst)-1].EndOp = false
+	return dst
+}
+
+// NextBatch implements BatchSource as one bulk decode per call.
+func (r *ReplaySource) NextBatch(dst []Access, max int) []Access {
+	n := int(r.Ops())
+	for max > 0 {
+		take := max
+		if rem := n - r.pos; take > rem {
+			take = rem
+		}
+		dst = r.decode(dst, r.opStarts[r.pos], r.opStarts[r.pos+take])
+		r.pos += take
+		if r.pos == n {
+			r.pos = 0
+		}
+		max -= take
+	}
+	return dst
+}
+
+// PackedViewSource is an optional refinement of BatchSource for sources
+// that store their stream packed (UnpackAccess's encoding): NextPackedView
+// returns up to max whole operations as a read-only slice of internal
+// storage, valid until the next call and never empty for max > 0.
+// Consumers that only iterate a batch (the simulator) prefer it over
+// NextBatch: no copy, no decode materialization, and a quarter of the
+// memory traffic of an []Access batch.
+type PackedViewSource interface {
+	NextPackedView(max int) []uint32
+}
+
+// NextPackedView implements PackedViewSource: the returned batch aliases
+// the shared stream. A view never spans the wrap-around, so it may hold
+// fewer than max ops.
+func (r *ReplaySource) NextPackedView(max int) []uint32 {
+	n := int(r.Ops())
+	take := max
+	if rem := n - r.pos; take > rem {
+		take = rem
+	}
+	lo, hi := r.opStarts[r.pos], r.opStarts[r.pos+take]
+	if r.pos += take; r.pos == n {
+		r.pos = 0
+	}
+	return r.packed[lo:hi]
+}
+
+// AsBatchSource returns src as a BatchSource. Sources with a native
+// NextBatch are returned unchanged. Anything else is wrapped in an adapter
+// that fetches through NextOp — one op per call when src is a ShiftSource,
+// because an op-count-triggered shift must observe the virtual clock
+// (AdvanceTime) at exactly the single-op schedule to timestamp itself
+// identically, and a generic adapter cannot know the shift schedule the way
+// a native implementation (e.g. ShiftingZipfSource) does.
+func AsBatchSource(src Source) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	_, shift := src.(ShiftSource)
+	return &opAdapter{src: src, single: shift}
+}
+
+// opAdapter lifts a plain Source to BatchSource via repeated NextOp calls.
+type opAdapter struct {
+	src    Source
+	single bool
+}
+
+func (a *opAdapter) Name() string          { return a.src.Name() }
+func (a *opAdapter) NumPages() int         { return a.src.NumPages() }
+func (a *opAdapter) AdvanceTime(now int64) { a.src.AdvanceTime(now) }
+
+func (a *opAdapter) NextOp(dst []Access) []Access { return a.src.NextOp(dst) }
+
+// NextBatch implements BatchSource by looping NextOp. An empty op stops the
+// batch: empty ops are how erroring sources (failed replays) present, and
+// they cannot be represented in a flat batch.
+func (a *opAdapter) NextBatch(dst []Access, max int) []Access {
+	if a.single && max > 1 {
+		max = 1
+	}
+	for i := 0; i < max; i++ {
+		n := len(dst)
+		dst = a.src.NextOp(dst)
+		if len(dst) == n {
+			break
+		}
+		dst[len(dst)-1].EndOp = true
+	}
+	return dst
+}

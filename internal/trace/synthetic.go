@@ -49,6 +49,17 @@ func (z *ZipfSource) NextOp(dst []Access) []Access {
 	return append(dst, Access{Page: mem.PageID(z.perm[rank]), Write: w})
 }
 
+// NextBatch implements BatchSource: ZipfSource has no time-driven
+// behaviour, so it generates max single-access ops back to back.
+func (z *ZipfSource) NextBatch(dst []Access, max int) []Access {
+	for i := 0; i < max; i++ {
+		rank := z.zipf.Next()
+		w := z.rng.Float64() < z.write
+		dst = append(dst, Access{Page: mem.PageID(z.perm[rank]), Write: w, EndOp: true})
+	}
+	return dst
+}
+
 // AdvanceTime implements Source.
 func (z *ZipfSource) AdvanceTime(int64) {}
 
@@ -106,6 +117,25 @@ func (s *ShiftingZipfSource) NextOp(dst []Access) []Access {
 	return s.ZipfSource.NextOp(dst)
 }
 
+// NextBatch implements BatchSource. The shift timestamps itself with the
+// clock value of the last AdvanceTime before the shifting op, so that op
+// must not be generated ahead of the simulator's tick processing: the batch
+// is capped to end right before it, making the shifting op the first of its
+// own batch — by which point every earlier op's ticks have been delivered,
+// exactly as on the single-op schedule.
+func (s *ShiftingZipfSource) NextBatch(dst []Access, max int) []Access {
+	if !s.done {
+		if before := s.shiftAfter - 1 - s.ops; before > 0 && int64(max) > before {
+			max = int(before)
+		}
+	}
+	for i := 0; i < max; i++ {
+		dst = s.NextOp(dst)
+		dst[len(dst)-1].EndOp = true
+	}
+	return dst
+}
+
 // AdvanceTime implements Source, tracking the virtual clock so the shift
 // can be timestamped.
 func (s *ShiftingZipfSource) AdvanceTime(now int64) { s.lastNow = now }
@@ -139,6 +169,16 @@ func (s *ScanSource) NextOp(dst []Access) []Access {
 	return append(dst, Access{Page: p})
 }
 
+// NextBatch implements BatchSource: a scan is position-driven only.
+func (s *ScanSource) NextBatch(dst []Access, max int) []Access {
+	for i := 0; i < max; i++ {
+		p := mem.PageID(s.pos % uint64(s.n))
+		s.pos++
+		dst = append(dst, Access{Page: p, EndOp: true})
+	}
+	return dst
+}
+
 // AdvanceTime implements Source.
 func (s *ScanSource) AdvanceTime(int64) {}
 
@@ -150,6 +190,10 @@ type MixSource struct {
 	pA   float64
 	rng  *xrand.RNG
 	n    int
+	// shifty records that a child is a ShiftSource, whose op-count-
+	// triggered shift must see the single-op AdvanceTime schedule; batches
+	// then degrade to one op per call (see AsBatchSource).
+	shifty bool
 }
 
 // NewMixSource draws from a with probability pA, else from b. Both sources
@@ -159,7 +203,10 @@ func NewMixSource(name string, a, b Source, pA float64, seed uint64) *MixSource 
 	if b.NumPages() > n {
 		n = b.NumPages()
 	}
-	return &MixSource{name: name, a: a, b: b, pA: pA, rng: xrand.New(seed), n: n}
+	_, sa := a.(ShiftSource)
+	_, sb := b.(ShiftSource)
+	return &MixSource{name: name, a: a, b: b, pA: pA, rng: xrand.New(seed), n: n,
+		shifty: sa || sb}
 }
 
 // Name implements Source.
@@ -176,8 +223,46 @@ func (m *MixSource) NextOp(dst []Access) []Access {
 	return m.b.NextOp(dst)
 }
 
+// NextBatch implements BatchSource. When a child can shift, the mix cannot
+// know its schedule, so batches fall back to one op per call.
+func (m *MixSource) NextBatch(dst []Access, max int) []Access {
+	if m.shifty && max > 1 {
+		max = 1
+	}
+	for i := 0; i < max; i++ {
+		n := len(dst)
+		dst = m.NextOp(dst)
+		if len(dst) == n {
+			break
+		}
+		dst[len(dst)-1].EndOp = true
+	}
+	return dst
+}
+
 // AdvanceTime implements Source.
 func (m *MixSource) AdvanceTime(now int64) {
 	m.a.AdvanceTime(now)
 	m.b.AdvanceTime(now)
+}
+
+// ClockFree implements the marker: Zipf draws never consult the clock.
+func (z *ZipfSource) ClockFree() bool { return true }
+
+// ClockFree implements the marker: the shift stamps itself with the
+// virtual clock, so a shifting source is never clock-free.
+func (s *ShiftingZipfSource) ClockFree() bool { return false }
+
+// ClockFree implements the marker: a scan is position-driven only.
+func (s *ScanSource) ClockFree() bool { return true }
+
+// ClockFree implements the marker: a mix is clock-free when both children
+// declare themselves clock-free.
+func (m *MixSource) ClockFree() bool {
+	ca, ok := m.a.(ClockFree)
+	if !ok || !ca.ClockFree() {
+		return false
+	}
+	cb, ok := m.b.(ClockFree)
+	return ok && cb.ClockFree()
 }

@@ -15,6 +15,11 @@ import "repro/internal/mem"
 type Access struct {
 	Page  mem.PageID
 	Write bool
+	// EndOp marks the final access of its operation inside a batch, so a
+	// flat access slice carries operation boundaries. Batch producers
+	// (BatchSource implementations) set it; single-op NextOp leaves it
+	// false because the returned slice spans exactly one operation.
+	EndOp bool
 }
 
 // Source produces operations. Implementations are single-threaded.

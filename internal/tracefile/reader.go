@@ -277,6 +277,25 @@ func (r *Reader) NextOp(dst []trace.Access) []trace.Access {
 	}
 }
 
+// NextBatch implements trace.BatchSource: up to max whole ops are decoded
+// per call. Shift marks carry their recorded timestamps, so replay is
+// batch-safe by construction — decoding ahead of the simulator's clock
+// cannot change what ShiftTime eventually reports (callers never request
+// past the replayed op count, so the stream position after a run matches
+// the single-op schedule exactly). A decode failure ends the batch early;
+// an empty extension tells the caller the stream is exhausted for good.
+func (r *Reader) NextBatch(dst []trace.Access, max int) []trace.Access {
+	for n := 0; n < max; n++ {
+		before := len(dst)
+		dst = r.NextOp(dst)
+		if len(dst) == before {
+			break
+		}
+		dst[len(dst)-1].EndOp = true
+	}
+	return dst
+}
+
 // control handles one tag-0 record; it reports whether reading may go on.
 func (r *Reader) control() bool {
 	sub, err := r.br.ReadByte()

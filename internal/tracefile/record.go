@@ -45,6 +45,15 @@ func (r *Recorder) NextOp(dst []trace.Access) []trace.Access {
 	return out
 }
 
+// Recorder deliberately does not implement trace.BatchSource: op records
+// must interleave with the time marks AdvanceTime writes at tick
+// boundaries, and a prefetched batch would emit its op records before the
+// ticks that fire while the batch is processed, so a batched capture's
+// bytes would diverge from a single-op capture's. Recorder implements
+// trace.ShiftSource, so trace.AsBatchSource already degrades it to one op
+// per fetch — recording always runs on the single-op schedule and captures
+// stay byte-identical regardless of the consumer's batch size.
+
 // AdvanceTime implements trace.Source: the clock notification is captured
 // as a time mark and forwarded to the wrapped source — which may fire a
 // time-driven shift, checked right after so tick-triggered shifts (and a

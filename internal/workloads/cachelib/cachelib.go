@@ -252,6 +252,25 @@ func (c *Cache) churnOne() {
 	c.rankToObj[i], c.rankToObj[j] = c.rankToObj[j], c.rankToObj[i]
 }
 
+// NextBatch implements trace.BatchSource. The bulk shift timestamps itself
+// with the clock of the last AdvanceTime before the shifting op, so that op
+// must not be generated ahead of the simulator's tick processing: the batch
+// ends right before it, making the shifting op the first of its own batch,
+// by which point all earlier ticks have been delivered — exactly the
+// single-op schedule. Churn is op-count-driven and needs no alignment.
+func (c *Cache) NextBatch(dst []trace.Access, max int) []trace.Access {
+	if c.cfg.ShiftAfterOps > 0 && !c.shifted {
+		if before := c.cfg.ShiftAfterOps - 1 - c.ops; before > 0 && int64(max) > before {
+			max = int(before)
+		}
+	}
+	for i := 0; i < max; i++ {
+		dst = c.NextOp(dst)
+		dst[len(dst)-1].EndOp = true
+	}
+	return dst
+}
+
 // AdvanceTime implements trace.Source.
 func (c *Cache) AdvanceTime(now int64) { c.lastNow = now }
 
@@ -260,3 +279,8 @@ func (c *Cache) ShiftTime() int64 { return c.shiftedAt }
 
 // Ops returns the number of operations generated so far.
 func (c *Cache) Ops() int64 { return c.ops }
+
+// ClockFree implements trace.ClockFree: the generator consults the clock
+// only to timestamp the scheduled bulk shift, so an instance without one
+// is clock-free (churn is op-count-driven).
+func (c *Cache) ClockFree() bool { return c.cfg.ShiftAfterOps <= 0 }

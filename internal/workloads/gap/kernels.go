@@ -100,6 +100,24 @@ func (s *Source) NextOp(dst []trace.Access) []trace.Access {
 	}
 }
 
+// NextBatch implements trace.BatchSource: kernels are purely state-driven
+// (no time-triggered behaviour), so ops are generated back to back with the
+// kernel dispatch hoisted out of the per-op path.
+func (s *Source) NextBatch(dst []trace.Access, max int) []trace.Access {
+	gen := s.prOp
+	switch s.kernel {
+	case BFS:
+		gen = s.bfsOp
+	case CC:
+		gen = s.ccOp
+	}
+	for i := 0; i < max; i++ {
+		dst = gen(dst)
+		dst[len(dst)-1].EndOp = true
+	}
+	return dst
+}
+
 // --- BFS ---
 
 func (s *Source) restartBFS() {
@@ -132,8 +150,9 @@ func (s *Source) bfsOp(dst []trace.Access) []trace.Access {
 	for i := lo; i < hi; i++ {
 		v := s.graph.Edges[i]
 		if budget > 0 {
-			dst = append(dst, trace.Access{Page: s.lay.EdgePage(i)})
-			dst = append(dst, trace.Access{Page: s.lay.ParentPage(v)})
+			dst = append(dst,
+				trace.Access{Page: s.lay.EdgePage(i)},
+				trace.Access{Page: s.lay.ParentPage(v)})
 			budget -= 2
 		}
 		if s.visitedEpoch[v] != s.epoch {
@@ -179,16 +198,18 @@ func (s *Source) ccOp(dst []trace.Access) []trace.Access {
 		s.labels[u] = u
 		return append(dst, trace.Access{Page: s.lay.LabelPage(u), Write: true})
 	}
-	dst = append(dst, trace.Access{Page: s.lay.OffsetsPage(u)})
-	dst = append(dst, trace.Access{Page: s.lay.LabelPage(u)})
+	dst = append(dst,
+		trace.Access{Page: s.lay.OffsetsPage(u)},
+		trace.Access{Page: s.lay.LabelPage(u)})
 	lo, hi := s.graph.Offsets[u], s.graph.Offsets[u+1]
 	min := s.labels[u]
 	budget := maxAccessesPerOp
 	for i := lo; i < hi; i++ {
 		v := s.graph.Edges[i]
 		if budget > 0 {
-			dst = append(dst, trace.Access{Page: s.lay.EdgePage(i)})
-			dst = append(dst, trace.Access{Page: s.lay.LabelPage(v)})
+			dst = append(dst,
+				trace.Access{Page: s.lay.EdgePage(i)},
+				trace.Access{Page: s.lay.LabelPage(v)})
 			budget -= 2
 		}
 		if s.labels[v] < min {
@@ -244,8 +265,9 @@ func (s *Source) prOp(dst []trace.Access) []trace.Access {
 	for i := lo; i < hi; i++ {
 		v := s.graph.Edges[i]
 		if budget > 0 {
-			dst = append(dst, trace.Access{Page: s.lay.EdgePage(i)})
-			dst = append(dst, trace.Access{Page: s.lay.RankPage(v)})
+			dst = append(dst,
+				trace.Access{Page: s.lay.EdgePage(i)},
+				trace.Access{Page: s.lay.RankPage(v)})
 			budget -= 2
 		}
 		if d := s.graph.Degree(v); d > 0 {
@@ -259,3 +281,6 @@ func (s *Source) prOp(dst []trace.Access) []trace.Access {
 
 // Ranks exposes the current rank vector (for correctness tests).
 func (s *Source) Ranks() []float64 { return s.rank }
+
+// ClockFree implements trace.ClockFree: kernels ignore AdvanceTime.
+func (s *Source) ClockFree() bool { return true }

@@ -163,6 +163,16 @@ func (p *Proxy) NextOp(dst []trace.Access) []trace.Access {
 	return dst
 }
 
+// NextBatch implements trace.BatchSource: the stencil sweep is position-
+// driven only, so blocks generate back to back.
+func (p *Proxy) NextBatch(dst []trace.Access, max int) []trace.Access {
+	for i := 0; i < max; i++ {
+		dst = p.NextOp(dst)
+		dst[len(dst)-1].EndOp = true
+	}
+	return dst
+}
+
 func (p *Proxy) advanceCursor() {
 	if p.cfg.Planes {
 		// Plane order: sweep within a plane, then jump to a strided plane —
@@ -185,3 +195,6 @@ func (p *Proxy) advanceCursor() {
 		p.direction = 1
 	}
 }
+
+// ClockFree implements trace.ClockFree: the sweep ignores AdvanceTime.
+func (p *Proxy) ClockFree() bool { return true }

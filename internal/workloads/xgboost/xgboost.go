@@ -194,3 +194,16 @@ func (t *Trainer) NextOp(dst []trace.Access) []trace.Access {
 	}
 	return dst
 }
+
+// NextBatch implements trace.BatchSource: training is cursor-driven with no
+// time-triggered behaviour, so blocks generate back to back.
+func (t *Trainer) NextBatch(dst []trace.Access, max int) []trace.Access {
+	for i := 0; i < max; i++ {
+		dst = t.NextOp(dst)
+		dst[len(dst)-1].EndOp = true
+	}
+	return dst
+}
+
+// ClockFree implements trace.ClockFree: training ignores AdvanceTime.
+func (t *Trainer) ClockFree() bool { return true }

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench.sh — run the micro + figure benchmarks with -benchmem and emit
+# BENCH_<label>.json (one record per benchmark: iterations, ns/op,
+# ops/sec, B/op, allocs/op). docs/PERFORMANCE.md explains how the files
+# are used to track the performance trajectory across PRs.
+#
+#   ./scripts/bench.sh mylabel            # full run (3 iterations/benchmark)
+#   BENCHTIME=1x ./scripts/bench.sh smoke # one iteration per benchmark
+#   BENCH=SimOpLoop ./scripts/bench.sh loop  # restrict the pattern
+set -eu
+cd "$(dirname "$0")/.."
+
+label="${1:-local}"
+benchtime="${BENCHTIME:-3x}"
+pattern="${BENCH:-.}"
+out="BENCH_${label}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" ./... | tee "$raw" >&2
+
+awk -v label="$label" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    recs[n++] = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"ops_per_sec\": %.6g, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, 1e9 / ns, bytes == "" ? 0 : bytes, allocs == "" ? 0 : allocs)
+}
+END {
+    printf "{\n \"label\": \"%s\",\n \"benchmarks\": [\n", label
+    for (i = 0; i < n; i++) printf "%s%s\n", recs[i], i < n - 1 ? "," : ""
+    printf " ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out" >&2

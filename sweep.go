@@ -3,12 +3,15 @@ package hybridtier
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/tracefile"
 )
 
@@ -77,18 +80,73 @@ func (s *Sweep) Cells() []Cell {
 	return cells
 }
 
+// scratchPool recycles per-run simulation buffers (access batches, sample
+// rings, histograms — ~2.5 MB each) across sweep cells and across sweeps.
+// Each worker goroutine checks one Scratch out for its whole cell stream,
+// so a sweep allocates the buffers Workers times instead of per cell.
+var scratchPool = sync.Pool{New: func() any { return new(sim.Scratch) }}
+
 // experimentFor builds the cell's experiment from Base plus sweep-level
 // extras (e.g. the trace-length ops default) plus coordinates.
-func (s *Sweep) experimentFor(c Cell, extra []Option) *Experiment {
+func (s *Sweep) experimentFor(c Cell, extra []Option, sc *sim.Scratch) *Experiment {
 	opts := make([]Option, 0, len(s.Base)+len(extra)+3)
 	opts = append(opts, s.Base...)
 	opts = append(opts, extra...)
 	opts = append(opts, WithPolicy(c.Policy), WithRatio(c.Ratio), WithSeed(c.Seed))
-	return NewExperiment(opts...)
+	e := NewExperiment(opts...)
+	e.scratch = sc
+	return e
 }
 
 // errCellNotRun marks cells the sweep never started before cancellation.
 const errCellNotRun = "sweep canceled before this cell ran"
+
+// maxSharedStreamAccesses bounds the memory a pre-generated shared stream
+// may hold (4 bytes per access packed → 128 MB); longer runs regenerate
+// per cell.
+const maxSharedStreamAccesses = 32 << 20
+
+// streamPool recycles retired shared streams across sweeps: their multi-MB
+// backing arrays are fully overwritten on reuse, so they come back dirty.
+var streamPool = sync.Pool{New: func() any { return (*trace.ReplaySource)(nil) }}
+
+// sharedStream pre-generates the op stream for cells to replay, or returns
+// nil when the optimization does not apply: it requires more than one cell,
+// a single seed (the stream is seed-determined), no recording tee, and a
+// workload instance that declares itself clock-free. Failures return nil
+// too — the per-cell path will surface them consistently.
+func (s *Sweep) sharedStream(cells []Cell, baseExtra []Option) *trace.ReplaySource {
+	if len(cells) < 2 {
+		return nil
+	}
+	for _, c := range cells[1:] {
+		if c.Seed != cells[0].Seed {
+			return nil
+		}
+	}
+	proto := s.experimentFor(cells[0], baseExtra, nil)
+	if proto.recordTo != "" {
+		return nil
+	}
+	w, owned, err := proto.buildWorkload()
+	if err != nil {
+		return nil
+	}
+	if owned {
+		if c, ok := w.(io.Closer); ok {
+			defer c.Close()
+		}
+	}
+	if cf, ok := w.(trace.ClockFree); !ok || !cf.ClockFree() {
+		return nil
+	}
+	recycle := streamPool.Get().(*trace.ReplaySource)
+	rs := trace.NewReplaySource(w, proto.ops, maxSharedStreamAccesses, recycle)
+	if rs == nil && recycle != nil {
+		streamPool.Put(recycle)
+	}
+	return rs
+}
 
 // Run executes every cell and returns results in Cells order. Per-cell
 // failures are recorded in CellResult.Err and do not stop the sweep; the
@@ -145,6 +203,14 @@ func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
 			return nil, fmt.Errorf("hybridtier: sweep ratios must be positive, got %d", c.Ratio)
 		}
 	}
+	// Clock-free workloads (trace.ClockFree) emit the same op stream in
+	// every cell that shares their seed, so the sweep generates the stream
+	// once up front and hands each cell a cheap in-memory replay cursor —
+	// cells then skip regeneration (graph traversals, Zipf draws, B-tree
+	// descents) entirely. Guarded to single-seed sweeps; the stream is
+	// bounded so a huge run falls back to live generation.
+	shared := s.sharedStream(cells, baseExtra)
+
 	results := make([]CellResult, len(cells))
 	for i := range cells {
 		results[i] = CellResult{Cell: cells[i], Err: errCellNotRun}
@@ -169,9 +235,15 @@ func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := scratchPool.Get().(*sim.Scratch)
+			defer scratchPool.Put(sc)
 			for idx := range jobs {
 				c := cells[idx]
-				res, err := s.experimentFor(c, baseExtra).Run(ctx)
+				e := s.experimentFor(c, baseExtra, sc)
+				if shared != nil {
+					e.workload = shared.Fork()
+				}
+				res, err := e.Run(ctx)
 				cr := CellResult{Cell: c, Result: res}
 				if err != nil {
 					cr.Result = nil
@@ -200,6 +272,10 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
+	if shared != nil {
+		// All forks are done; recycle the stream's arrays for the next sweep.
+		streamPool.Put(shared)
+	}
 	if err := ctx.Err(); err != nil {
 		return results, fmt.Errorf("hybridtier: sweep canceled after %d/%d cells: %w",
 			done.Load(), len(cells), err)
