@@ -194,3 +194,104 @@ func TestBatchedReplayMatchesSingleOp(t *testing.T) {
 		t.Fatal("trace replay: batched sweep JSON diverges from single-op path")
 	}
 }
+
+// TestBatchedComposedMatchesSingleOp extends the golden contract to the
+// composition subsystem: sweeps driven by grammar-composed workloads
+// (mix interleaves with tenant remapping; phases with a mid-run source
+// switch; a transform under a combinator) must be byte-identical between
+// the single-op reference schedule and the batched path — which for the
+// clock-free mix additionally rides the shared in-memory replay stream.
+func TestBatchedComposedMatchesSingleOp(t *testing.T) {
+	singleVsBatched(t, "mix:0.7*zipf,0.3*silo")
+	singleVsBatched(t, "phases:zipf@8000,(offset:silo+4096)")
+}
+
+// TestBatchedComposedShiftMatchesSingleOp nests an op-count-triggered
+// distribution shift inside a mix: the composite's shift_ns and the
+// AdaptationNs metric must not move between fetch schedules.
+func TestBatchedComposedShiftMatchesSingleOp(t *testing.T) {
+	build := func(seed uint64) (hybridtier.Workload, error) {
+		shifting := hybridtier.ShiftingZipf("tenant-shift", 1<<12, 1.0, seed, 9_000, 2.0/3.0)
+		steady := hybridtier.Zipf("tenant-steady", 1<<12, 0.9, seed+1)
+		return trace.NewMix("",
+			trace.Weighted{Source: shifting, Weight: 0.6},
+			trace.Weighted{Source: steady, Weight: 0.4})
+	}
+	single := runSweep(t,
+		hybridtier.WithWorkloadFunc(func(seed uint64) (hybridtier.Workload, error) {
+			w, err := build(seed)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(w), nil
+		}),
+		hybridtier.WithOps(30_000),
+		hybridtier.WithWindowNs(1_000_000),
+		hybridtier.WithBatchOps(1),
+	)
+	batched := runSweep(t,
+		hybridtier.WithWorkloadFunc(build),
+		hybridtier.WithOps(30_000),
+		hybridtier.WithWindowNs(1_000_000),
+	)
+	if string(single) != string(batched) {
+		t.Fatal("composed shifting workload: batched sweep JSON diverges from single-op path")
+	}
+	var cells []hybridtier.CellResult
+	if err := json.Unmarshal(single, &cells); err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Result.ShiftNs < 0 {
+		t.Fatal("the nested shift never fired: the scenario does not exercise timestamping")
+	}
+}
+
+// TestComposedRecordReplayByteIdentical is the acceptance criterion in
+// library form: record a composed run, then (a) a replay under the
+// recorded coordinates must reproduce the live Result byte for byte, and
+// (b) replay sweeps are byte-identical between BatchOps(1) and batched.
+func TestComposedRecordReplayByteIdentical(t *testing.T) {
+	capPath := filepath.Join(t.TempDir(), "mix.htrc")
+	spec := "mix:0.7*zipf,0.3*silo"
+	runOnce := func(extra ...hybridtier.Option) []byte {
+		t.Helper()
+		res, err := hybridtier.NewExperiment(append([]hybridtier.Option{
+			hybridtier.WithWorkloadName(spec),
+			hybridtier.WithWorkloadParams(goldenParams()),
+			hybridtier.WithOps(20_000),
+			hybridtier.WithSeed(7),
+		}, extra...)...).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	live := runOnce(hybridtier.WithRecordTo(capPath))
+	replayed := runOnce(hybridtier.WithTraceFile(capPath))
+	if string(live) != string(replayed) {
+		t.Fatal("replaying a composed capture diverges from the live run")
+	}
+
+	single := runSweep(t,
+		hybridtier.WithWorkloadFunc(func(uint64) (hybridtier.Workload, error) {
+			r, err := tracefile.Open(capPath)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(r), nil
+		}),
+		hybridtier.WithOps(20_000),
+		hybridtier.WithBatchOps(1),
+	)
+	batched := runSweep(t,
+		hybridtier.WithTraceFile(capPath),
+		hybridtier.WithOps(20_000),
+	)
+	if string(single) != string(batched) {
+		t.Fatal("composed trace replay: batched sweep JSON diverges from single-op path")
+	}
+}

@@ -7,27 +7,34 @@
 // Usage:
 //
 //	htiersim [-workload cdn] [-policy HybridTier,Memtis] [-ratio 8,16]
-//	         [-seed 1,2,3] [-ops 1000000] [-huge] [-cache]
+//	         [-seed 1,2,3] [-ops 1000000] [-huge] [-cache] [-batch-ops N]
 //	         [-scale tiny|quick|full] [-workers N] [-json] [-series] [-list]
 //	         [-record run.htrc] [-replay run.htrc] [-trace-info run.htrc]
 //
 // Workloads and policies are resolved through the public registries, so
-// -list can never drift from what actually runs. Ctrl-C cancels promptly.
+// -list can never drift from what actually runs. -workload also accepts
+// the composition grammar (docs/COMPOSITION.md): "mix:0.7*cdn,0.3*silo"
+// interleaves two tenants on disjoint page ranges, "phases:cdn@500000,silo"
+// switches generators after a fixed op count, and repeat:/offset:/scale:
+// loop and transform address spaces; a malformed spec is rejected before
+// anything runs. Ctrl-C cancels promptly.
 //
 // Trace capture and replay (docs/TRACE_FORMAT.md): -record captures a
 // single run's op stream to a trace file (".gz" compresses it), -replay
 // drives the sweep from a recorded file instead of a generator — replaying
 // under the recorded policy/ratio/seed reproduces the live run's -json
-// output byte for byte — and -trace-info inspects a file without running
-// anything. A trace also resolves anywhere a workload name is accepted as
-// "trace:<path>".
+// output byte for byte, composed workloads included — and -trace-info
+// inspects a file without running anything. A trace also resolves anywhere
+// a workload name is accepted as "trace:<path>".
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -41,40 +48,71 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "cdn", "workload name (see -list)")
-	policy := flag.String("policy", "HybridTier", "tiering policy, or comma-separated list")
-	ratio := flag.String("ratio", "8", "fast:slow ratio 1:N, or comma-separated list")
-	seed := flag.String("seed", "1", "deterministic seed, or comma-separated list")
-	ops := flag.Int64("ops", 1_000_000, "operations to simulate")
-	huge := flag.Bool("huge", false, "2MB huge-page granularity")
-	cache := flag.Bool("cache", false, "enable the full CPU-cache model")
-	scaleFlag := flag.String("scale", "quick", "workload scale: tiny, quick, or full")
-	workers := flag.Int("workers", 0, "concurrent sweep cells (default: all cores)")
-	jsonOut := flag.Bool("json", false, "emit results as JSON")
-	series := flag.Bool("series", false, "print the latency time series (single run only)")
-	list := flag.Bool("list", false, "list workloads and policies")
-	record := flag.String("record", "", "capture the run's op stream to this trace file (single run only)")
-	replay := flag.String("replay", "", "replay this trace file as the workload")
-	traceInfo := flag.String("trace-info", "", "print a trace file's header and counts, then exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the CLI is testable
+// in-process: it parses args, executes, writes to stdout/stderr, and
+// returns the process exit code (0 ok, 1 run failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("htiersim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "cdn", "workload name or composition spec (see -list)")
+	policy := fs.String("policy", "HybridTier", "tiering policy, or comma-separated list")
+	ratio := fs.String("ratio", "8", "fast:slow ratio 1:N, or comma-separated list")
+	seed := fs.String("seed", "1", "deterministic seed, or comma-separated list")
+	ops := fs.Int64("ops", 1_000_000, "operations to simulate")
+	huge := fs.Bool("huge", false, "2MB huge-page granularity")
+	cache := fs.Bool("cache", false, "enable the full CPU-cache model")
+	scaleFlag := fs.String("scale", "quick", "workload scale: tiny, quick, or full")
+	workers := fs.Int("workers", 0, "concurrent sweep cells (default: all cores)")
+	batchOps := fs.Int("batch-ops", 0, "ops fetched per workload batch (1 = single-op reference schedule; results are identical)")
+	jsonOut := fs.Bool("json", false, "emit results as JSON")
+	series := fs.Bool("series", false, "print the latency time series (single run only)")
+	list := fs.Bool("list", false, "list workloads, policies, and composition syntax")
+	record := fs.String("record", "", "capture the run's op stream to this trace file (single run only)")
+	replay := fs.String("replay", "", "replay this trace file as the workload")
+	traceInfo := fs.String("trace-info", "", "print a trace file's header and counts, then exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/-help prints usage and is a success, not a usage error
+		}
+		return 2
+	}
+	fail := func(code int, format string, args ...any) int {
+		fmt.Fprintf(stderr, "htiersim: "+format+"\n", args...)
+		return code
+	}
+	flagWasSet := func(name string) bool {
+		set := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == name {
+				set = true
+			}
+		})
+		return set
+	}
 
 	if *traceInfo != "" {
-		printTraceInfo(*traceInfo)
-		return
+		return printTraceInfo(stdout, stderr, *traceInfo)
 	}
 
 	if *list {
-		fmt.Println("workloads:")
+		fmt.Fprintln(stdout, "workloads:")
 		for _, name := range hybridtier.DefaultWorkloads().Names() {
 			e, _ := hybridtier.DefaultWorkloads().Lookup(name)
-			fmt.Printf("  %-14s %s\n", name, e.Doc)
+			fmt.Fprintf(stdout, "  %-14s %s\n", name, e.Doc)
 		}
-		fmt.Println("policies:")
+		fmt.Fprintln(stdout, "policies:")
 		for _, name := range hybridtier.DefaultPolicies().Names() {
 			e, _ := hybridtier.DefaultPolicies().Lookup(name)
-			fmt.Printf("  %-20s %s\n", name, e.Doc)
+			fmt.Fprintf(stdout, "  %-20s %s\n", name, e.Doc)
 		}
-		return
+		fmt.Fprintln(stdout, "composition (combine workloads into one -workload spec, docs/COMPOSITION.md):")
+		for _, line := range hybridtier.WorkloadSpecSyntax() {
+			fmt.Fprintf(stdout, "  %s\n", line)
+		}
+		return 0
 	}
 
 	var scale experiments.Scale
@@ -86,17 +124,17 @@ func main() {
 	case "full":
 		scale = experiments.Full
 	default:
-		fatalf(2, "unknown scale %q (want tiny, quick, or full)", *scaleFlag)
+		return fail(2, "unknown scale %q (want tiny, quick, or full)", *scaleFlag)
 	}
 
 	policies := splitPolicies(*policy)
 	ratios, err := splitInts(*ratio)
 	if err != nil {
-		fatalf(2, "bad -ratio: %v", err)
+		return fail(2, "bad -ratio: %v", err)
 	}
 	seeds, err := splitSeeds(*seed)
 	if err != nil {
-		fatalf(2, "bad -seed: %v", err)
+		return fail(2, "bad -seed: %v", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -111,11 +149,15 @@ func main() {
 			tracePath = p
 		}
 	} else if flagWasSet("workload") {
-		fatalf(2, "-workload and -replay conflict: the trace file is the workload")
+		return fail(2, "-workload and -replay conflict: the trace file is the workload")
 	}
 	workloadOpt := hybridtier.WithWorkloadName(*workload)
 	if tracePath != "" {
 		workloadOpt = hybridtier.WithTraceFile(tracePath)
+	} else if err := hybridtier.ValidateWorkload(*workload); err != nil {
+		// A bad name or malformed composition spec fails here, before any
+		// simulation starts, with the parser's diagnosis.
+		return fail(2, "%v", err)
 	}
 
 	base := []hybridtier.Option{
@@ -123,6 +165,7 @@ func main() {
 		hybridtier.WithWorkloadParams(scale.Params(seeds[0])),
 		hybridtier.WithHugePages(*huge),
 		hybridtier.WithCacheModel(*cache),
+		hybridtier.WithBatchOps(*batchOps),
 	}
 	// For a trace the library defaults to the recorded length (a longer
 	// replay would wrap around to the trace's start), so the flag default
@@ -140,28 +183,28 @@ func main() {
 	}
 	if *record != "" {
 		if !single {
-			fatalf(2, "-record needs a single policy/ratio/seed cell, not a sweep")
+			return fail(2, "-record needs a single policy/ratio/seed cell, not a sweep")
 		}
 		sw.Base = append(sw.Base, hybridtier.WithRecordTo(*record))
 	}
 	if !single && !*jsonOut {
 		sw.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rhtiersim: %d/%d cells", done, total)
+			fmt.Fprintf(stderr, "\rhtiersim: %d/%d cells", done, total)
 			if done == total {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(stderr)
 			}
 		}
 	}
 
 	cells, err := sw.Run(ctx)
 	if err != nil && len(cells) == 0 {
-		fatalf(1, "%v", err)
+		return fail(1, "%v", err)
 	}
 	failed := 0
 	for _, c := range cells {
 		if c.Err != "" {
 			failed++
-			fmt.Fprintf(os.Stderr, "htiersim: %s 1:%d seed %d: %s\n", c.Policy, c.Ratio, c.Seed, c.Err)
+			fmt.Fprintf(stderr, "htiersim: %s 1:%d seed %d: %s\n", c.Policy, c.Ratio, c.Seed, c.Err)
 		}
 	}
 
@@ -170,77 +213,78 @@ func main() {
 	// successful rows.
 	switch {
 	case *jsonOut:
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(cells); err != nil {
-			fatalf(1, "%v", err)
+			return fail(1, "%v", err)
 		}
 	case single:
 		if failed == 0 {
-			printSingle(cells[0], *ratio, *huge, *cache, *series)
+			printSingle(stdout, cells[0], *ratio, *huge, *cache, *series)
 		}
 	default:
-		printSweep(cells)
+		printSweep(stdout, cells)
 	}
 	if err != nil {
-		fatalf(1, "%v", err)
+		return fail(1, "%v", err)
 	}
 	if failed > 0 {
-		fatalf(1, "%d of %d cells failed", failed, len(cells))
+		return fail(1, "%d of %d cells failed", failed, len(cells))
 	}
+	return 0
 }
 
 // printSingle renders one run in the traditional htiersim format.
-func printSingle(c hybridtier.CellResult, ratio string, huge, cache, series bool) {
+func printSingle(w io.Writer, c hybridtier.CellResult, ratio string, huge, cache, series bool) {
 	res := c.Result
 	numPages := int(res.Mem.FastAllocs + res.Mem.SlowAllocs)
-	fmt.Printf("workload      %s\n", res.Workload)
-	fmt.Printf("policy        %s\n", res.Policy)
-	fmt.Printf("fast tier     1:%s split (huge pages: %v)\n", ratio, huge)
-	fmt.Printf("ops           %d in %.1f virtual ms\n", res.Ops, float64(res.ElapsedNs)/1e6)
-	fmt.Printf("latency       p50 %d ns   mean %.0f ns   p99 %d ns\n",
+	fmt.Fprintf(w, "workload      %s\n", res.Workload)
+	fmt.Fprintf(w, "policy        %s\n", res.Policy)
+	fmt.Fprintf(w, "fast tier     1:%s split (huge pages: %v)\n", ratio, huge)
+	fmt.Fprintf(w, "ops           %d in %.1f virtual ms\n", res.Ops, float64(res.ElapsedNs)/1e6)
+	fmt.Fprintf(w, "latency       p50 %d ns   mean %.0f ns   p99 %d ns\n",
 		res.MedianLatNs, res.MeanLatNs, res.P99LatNs)
-	fmt.Printf("throughput    %.2f Mop/s\n", res.ThroughputMops)
-	fmt.Printf("migrations    %d promoted, %d demoted (%d failed promos)\n",
+	fmt.Fprintf(w, "throughput    %.2f Mop/s\n", res.ThroughputMops)
+	fmt.Fprintf(w, "migrations    %d promoted, %d demoted (%d failed promos)\n",
 		res.Mem.Promotions, res.Mem.Demotions, res.Mem.FailedPromos)
-	fmt.Printf("sampling      %d samples of %d accesses (%d dropped)\n",
+	fmt.Fprintf(w, "sampling      %d samples of %d accesses (%d dropped)\n",
 		res.Pebs.Sampled, res.Pebs.Accesses, res.Pebs.Dropped)
-	fmt.Printf("faults        %d hint faults\n", res.Faults)
+	fmt.Fprintf(w, "faults        %d hint faults\n", res.Faults)
 	if numPages > 0 {
-		fmt.Printf("metadata      %.1f KB (%.4f%% of touched footprint)\n",
+		fmt.Fprintf(w, "metadata      %.1f KB (%.4f%% of touched footprint)\n",
 			float64(res.MetadataBytes)/1024,
 			100*float64(res.MetadataBytes)/(float64(numPages)*float64(mem.RegularPageBytes)))
 	} else {
-		fmt.Printf("metadata      %.1f KB\n", float64(res.MetadataBytes)/1024)
+		fmt.Fprintf(w, "metadata      %.1f KB\n", float64(res.MetadataBytes)/1024)
 	}
-	fmt.Printf("tiering busy  %.2f virtual ms\n", res.TieringBusyNs/1e6)
+	fmt.Fprintf(w, "tiering busy  %.2f virtual ms\n", res.TieringBusyNs/1e6)
 	if cache {
-		fmt.Printf("cache         tiering share of misses: L1 %.1f%%  LLC %.1f%%\n",
+		fmt.Fprintf(w, "cache         tiering share of misses: L1 %.1f%%  LLC %.1f%%\n",
 			100*res.L1.MissFraction(1), 100*res.LLC.MissFraction(1))
 	}
 	if series {
-		fmt.Println("\ntime(ms)  p50(ns)  mean(ns)  slow-share")
+		fmt.Fprintln(w, "\ntime(ms)  p50(ns)  mean(ns)  slow-share")
 		for i, pt := range res.Series {
 			slow := ""
 			if i < len(res.SlowSeries) {
 				slow = fmt.Sprintf("%.1f%%", res.SlowSeries[i].Mean/10)
 			}
-			fmt.Printf("%8.0f  %7d  %8.0f  %s\n",
+			fmt.Fprintf(w, "%8.0f  %7d  %8.0f  %s\n",
 				float64(pt.Time)/1e6, pt.Median, pt.Mean, slow)
 		}
 	}
 }
 
 // printSweep renders a sweep as one aligned row per completed cell.
-func printSweep(cells []hybridtier.CellResult) {
-	fmt.Printf("%-20s %-6s %-6s %9s %10s %8s %10s %10s\n",
+func printSweep(w io.Writer, cells []hybridtier.CellResult) {
+	fmt.Fprintf(w, "%-20s %-6s %-6s %9s %10s %8s %10s %10s\n",
 		"policy", "ratio", "seed", "p50(ns)", "mean(ns)", "Mop/s", "promoted", "demoted")
 	for _, c := range cells {
 		if c.Result == nil {
 			continue // failure already reported on stderr
 		}
 		r := c.Result
-		fmt.Printf("%-20s 1:%-4d %-6d %9d %10.0f %8.2f %10d %10d\n",
+		fmt.Fprintf(w, "%-20s 1:%-4d %-6d %9d %10.0f %8.2f %10d %10d\n",
 			c.Policy, c.Ratio, c.Seed, r.MedianLatNs, r.MeanLatNs,
 			r.ThroughputMops, r.Mem.Promotions, r.Mem.Demotions)
 	}
@@ -290,50 +334,36 @@ func splitSeeds(s string) ([]uint64, error) {
 	return out, nil
 }
 
-// flagWasSet reports whether the named flag appeared on the command line
-// (as opposed to holding its default).
-func flagWasSet(name string) bool {
-	set := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == name {
-			set = true
-		}
-	})
-	return set
-}
-
 // printTraceInfo renders a trace file's header and stream summary. A
 // truncated or corrupt body still prints what was decodable, then exits
 // nonzero with the error.
-func printTraceInfo(path string) {
+func printTraceInfo(stdout, stderr io.Writer, path string) int {
 	info, err := tracefile.Stat(path)
 	// The format requires numPages >= 1, so a zero value means the header
 	// never parsed and there is nothing to print.
 	if err != nil && info.NumPages == 0 {
-		fatalf(2, "%v", err)
+		fmt.Fprintf(stderr, "htiersim: %v\n", err)
+		return 2
 	}
-	fmt.Printf("file           %s\n", path)
-	fmt.Printf("workload       %s\n", info.Name)
-	fmt.Printf("pages          %d (%.1f MB at 4 KB)\n",
+	fmt.Fprintf(stdout, "file           %s\n", path)
+	fmt.Fprintf(stdout, "workload       %s\n", info.Name)
+	fmt.Fprintf(stdout, "pages          %d (%.1f MB at 4 KB)\n",
 		info.NumPages, float64(info.NumPages)*float64(mem.RegularPageBytes)/(1<<20))
-	fmt.Printf("seed           %d\n", info.Seed)
-	fmt.Printf("compressed     %v\n", info.Compressed)
-	fmt.Printf("shift-capable  %v\n", info.Shift)
-	fmt.Printf("ops            %d (%d page accesses)\n", info.Ops, info.Accesses)
+	fmt.Fprintf(stdout, "seed           %d\n", info.Seed)
+	fmt.Fprintf(stdout, "compressed     %v\n", info.Compressed)
+	fmt.Fprintf(stdout, "shift-capable  %v\n", info.Shift)
+	fmt.Fprintf(stdout, "ops            %d (%d page accesses)\n", info.Ops, info.Accesses)
 	if info.EndNs >= 0 {
-		fmt.Printf("virtual end    %.1f ms\n", float64(info.EndNs)/1e6)
+		fmt.Fprintf(stdout, "virtual end    %.1f ms\n", float64(info.EndNs)/1e6)
 	}
 	if info.Shifts > 0 {
-		fmt.Printf("shifts         %d (last at %.1f virtual ms)\n",
+		fmt.Fprintf(stdout, "shifts         %d (last at %.1f virtual ms)\n",
 			info.Shifts, float64(info.ShiftNs)/1e6)
 	}
-	fmt.Printf("clean end      %v\n", info.Clean)
+	fmt.Fprintf(stdout, "clean end      %v\n", info.Clean)
 	if err != nil {
-		fatalf(1, "%v", err)
+		fmt.Fprintf(stderr, "htiersim: %v\n", err)
+		return 1
 	}
-}
-
-func fatalf(code int, format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "htiersim: "+format+"\n", args...)
-	os.Exit(code)
+	return 0
 }

@@ -147,3 +147,70 @@ func TestWorkloadRegistryListsPaperWorkloads(t *testing.T) {
 		}
 	}
 }
+
+func TestMixSpecAndPhasesSpecRender(t *testing.T) {
+	got := MixSpec(MixPart{0.7, "cdn"}, MixPart{0.3, "silo"})
+	if want := "mix:0.7*(cdn),0.3*(silo)"; got != want {
+		t.Errorf("MixSpec = %q, want %q", got, want)
+	}
+	got = PhasesSpec(Phase{"cdn", 50_000}, Phase{Workload: "silo"})
+	if want := "phases:(cdn)@50000,(silo)"; got != want {
+		t.Errorf("PhasesSpec = %q, want %q", got, want)
+	}
+	// Nested specs survive because every part is parenthesized.
+	nested := MixSpec(MixPart{0.5, PhasesSpec(Phase{"zipf", 10}, Phase{Workload: "zipf"})}, MixPart{0.5, "zipf"})
+	if err := ValidateWorkload(nested); err != nil {
+		t.Errorf("nested MixSpec %q does not validate: %v", nested, err)
+	}
+}
+
+func TestWithMixRunsAndRemapsTenants(t *testing.T) {
+	res, err := NewExperiment(
+		WithMix(MixPart{0.7, "zipf"}, MixPart{0.3, "zipf"}),
+		WithWorkloadParams(WorkloadParams{Pages: 1 << 10, Skew: 1.0}),
+		WithOps(5_000),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 1024-page tenants allocate out of a combined 2048-page space.
+	if total := res.Mem.FastAllocs + res.Mem.SlowAllocs; total > 2048 || total <= 1024 {
+		t.Errorf("composed footprint touched %d pages, want within (1024, 2048]", total)
+	}
+	if !strings.HasPrefix(res.Workload, "mix(") {
+		t.Errorf("result workload %q does not carry the composed name", res.Workload)
+	}
+}
+
+func TestWithPhasesRuns(t *testing.T) {
+	res, err := NewExperiment(
+		WithPhases(Phase{"zipf", 2_000}, Phase{Workload: "zipf"}),
+		WithWorkloadParams(WorkloadParams{Pages: 1 << 10, Skew: 1.0}),
+		WithOps(5_000),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Workload, "phases(") {
+		t.Errorf("result workload %q does not carry the composed name", res.Workload)
+	}
+}
+
+func TestWithPhasesBadFinalStageFailsAtRun(t *testing.T) {
+	_, err := NewExperiment(
+		WithPhases(Phase{"zipf", 2_000}, Phase{Workload: "zipf", Ops: 10}),
+		WithOps(1_000),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "final phase") {
+		t.Errorf("final stage with an op count must fail usefully, got %v", err)
+	}
+}
+
+func TestValidateWorkload(t *testing.T) {
+	if err := ValidateWorkload("mix:0.7*cdn,0.3*silo"); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := ValidateWorkload("mix:0.7*cdn,0.3*nope"); err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Errorf("invalid spec must name the unknown tenant, got %v", err)
+	}
+}

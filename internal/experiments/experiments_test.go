@@ -65,6 +65,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "fig3a", "fig3b", "fig4", "fig5",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"mt",
 		"tab3", "tab4", "tab5",
 	}
 	for _, id := range want {

@@ -1,0 +1,77 @@
+package registry
+
+// FuzzRegistryParse proves the satellite contract of the composition
+// grammar: no input — however malformed — may panic the parser, the
+// validator, or the builder. Bad specs must come back as errors.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// fuzzRegistry is shared across fuzz iterations (construction is cheap
+// but the corpus runs millions of inputs).
+var (
+	fuzzRegOnce sync.Once
+	fuzzReg     *WorkloadRegistry
+)
+
+func grammarFuzzRegistry() *WorkloadRegistry {
+	fuzzRegOnce.Do(func() {
+		fuzzReg = NewWorkloadRegistry()
+		fuzzReg.MustRegister(stubWorkload("a"))
+		fuzzReg.MustRegister(stubWorkload("b"))
+	})
+	return fuzzReg
+}
+
+func FuzzRegistryParse(f *testing.F) {
+	seeds := []string{
+		"a",
+		"mix:0.7*a,0.3*b",
+		"phases:a@1000000,b",
+		"repeat:a@5000",
+		"offset:a+4096",
+		"scale:a*8",
+		"mix:0.5*(phases:a@10,b),0.5*(repeat:b@7)",
+		"trace:/tmp/x.htrc",
+		"mix:0.7*a",                    // too few tenants
+		"phases:a@0,b",                 // zero quota
+		"mix:((((((((a",                // unbalanced
+		"scale:a*99999999999999999999", // overflowing count
+		"mix:NaN*a,1*b",
+		"offset:a+-1",
+		"(((((((((((((((((((((((((((((((((((a)))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		r := grammarFuzzRegistry()
+		// Neither validation nor construction may panic; errors are the
+		// contract for malformed input.
+		verr := r.Validate(spec)
+		src, nerr := r.New(spec, WorkloadParams{Seed: 1, Pages: 64})
+		// Validate never touches the filesystem, so it can accept a spec
+		// whose trace: leaf later fails to open — but a spec it rejects
+		// must never build.
+		if verr != nil && nerr == nil {
+			t.Fatalf("Validate rejected %q (%v) but New accepted it", spec, verr)
+		}
+		if nerr == nil {
+			// A constructed composition must honor the Source contract on
+			// a few ops without panicking, then release its resources.
+			bs := trace.AsBatchSource(src)
+			var buf []trace.Access
+			for i := 0; i < 4; i++ {
+				buf = bs.NextBatch(buf[:0], 8)
+				src.AdvanceTime(int64(i) * 1000)
+			}
+			if c, ok := src.(interface{ Close() error }); ok {
+				c.Close()
+			}
+		}
+	})
+}

@@ -6,10 +6,17 @@
 // resolve names through one authoritative table instead of hand-maintained
 // switch statements.
 //
-// Besides registered names, workload resolution understands one scheme:
-// "trace:<path>" opens a recorded trace file (internal/tracefile) as the
-// workload, so captured or externally produced access streams run
-// everywhere a workload name is accepted — experiments, sweeps, CLIs.
+// Besides registered names, workload resolution understands two extra
+// forms. "trace:<path>" opens a recorded trace file (internal/tracefile)
+// as the workload, so captured or externally produced access streams run
+// everywhere a workload name is accepted — experiments, sweeps, CLIs. And
+// the composition grammar (grammar.go, docs/COMPOSITION.md) builds
+// multi-tenant scenarios out of the registered generators with the
+// combinators in internal/trace: "mix:0.7*cdn,0.3*silo" interleaves two
+// tenants on disjoint page ranges, "phases:cdn@1000000,silo" switches
+// generators after a fixed op count, and repeat:/offset:/scale: loop and
+// transform address spaces. Specs nest with parentheses and resolve
+// everywhere a plain name does.
 package registry
 
 import (
@@ -193,12 +200,19 @@ func (r *WorkloadRegistry) Lookup(name string) (WorkloadEntry, bool) {
 // files instead of registered generators: "trace:/path/to/run.htrc".
 const TraceScheme = "trace:"
 
-// New constructs the named workload. Names starting with TraceScheme open
-// the trace file after the prefix (WorkloadParams do not apply: the trace
-// header fixes the page space and the recorded stream is literal). Other
-// names resolve through the registered entries, with an error naming the
-// known workloads when the name is not registered.
+// New constructs the named workload. Composition specs (grammar.go —
+// "mix:", "phases:", "repeat:", "offset:", "scale:", or a parenthesized
+// spec) are parsed and built recursively, with every tenant seeded from a
+// splitmix64 derivation of p.Seed so same-generator tenants draw distinct
+// streams. Names starting with TraceScheme open the trace file after the
+// prefix (WorkloadParams do not apply: the trace header fixes the page
+// space and the recorded stream is literal). Other names resolve through
+// the registered entries, with an error naming the known workloads when
+// the name is not registered.
 func (r *WorkloadRegistry) New(name string, p WorkloadParams) (trace.Source, error) {
+	if isCompositeSpec(name) {
+		return r.newComposite(name, p)
+	}
 	if path, ok := strings.CutPrefix(name, TraceScheme); ok {
 		if path == "" {
 			return nil, fmt.Errorf("registry: %q needs a path after the scheme", name)

@@ -249,11 +249,29 @@ func (r *ReplaySource) NextPackedView(max int) []uint32 {
 
 // AsBatchSource returns src as a BatchSource. Sources with a native
 // NextBatch are returned unchanged. Anything else is wrapped in an adapter
-// that fetches through NextOp — one op per call when src is a ShiftSource,
-// because an op-count-triggered shift must observe the virtual clock
-// (AdvanceTime) at exactly the single-op schedule to timestamp itself
-// identically, and a generic adapter cannot know the shift schedule the way
-// a native implementation (e.g. ShiftingZipfSource) does.
+// that fetches through NextOp, filling the requested batch — except when
+// src is a ShiftSource, where the adapter degrades to one op per call.
+//
+// The degradation is a contract, not an optimization shortfall. The
+// simulator delivers AdvanceTime while it consumes a batch, so every op
+// in a batch is generated before the ticks of the ops ahead of it have
+// been delivered. For most sources that is invisible: generation does not
+// read the clock. An op-count-triggered shift is the exception — it
+// timestamps itself with the last AdvanceTime it saw, so the shifting op
+// must not be generated until every earlier op's ticks are delivered. A
+// native implementation knows its own schedule and caps its batches right
+// before the shifting op (see ShiftingZipfSource.NextBatch); a generic
+// adapter cannot know the schedule, so one op per call — which makes the
+// fetch schedule identical to the single-op reference path — is the only
+// batch size that provably preserves shift timestamps. The composition
+// combinators (compose.go) inherit the same rule: any combinator with a
+// ShiftSource child runs its clock-sensitive fetches one op per call, and
+// the regression tests in compose_test.go hold every nesting to it.
+//
+// Consequently a capture or replay wrapped in such an adapter is
+// byte-identical for every consumer batch size, at the cost of per-op
+// dispatch; implement BatchSource natively (with correct capping) where
+// that overhead matters.
 func AsBatchSource(src Source) BatchSource {
 	if bs, ok := src.(BatchSource); ok {
 		return bs

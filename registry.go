@@ -44,6 +44,17 @@ func DefaultPolicies() *PolicyRegistry { return registry.Policies }
 // self-register into it.
 func DefaultWorkloads() *WorkloadRegistry { return registry.Workloads }
 
+// ValidateWorkload reports whether name would resolve through the
+// workload registry: a registered generator, a trace:<path> replay, or a
+// composition spec (docs/COMPOSITION.md) whose referenced generators all
+// exist. It parses and checks without constructing anything, so CLIs can
+// reject a bad -workload before any simulation starts.
+func ValidateWorkload(name string) error { return registry.Workloads.Validate(name) }
+
+// WorkloadSpecSyntax returns one help line per composition scheme of the
+// workload grammar ("mix:", "phases:", ...), for CLI listings.
+func WorkloadSpecSyntax() []string { return registry.SpecSyntax() }
+
 // init self-registers the synthetic sources, which live in the facade
 // because internal/trace must stay importable by the registry package.
 func init() {
