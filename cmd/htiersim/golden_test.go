@@ -1,0 +1,106 @@
+package main
+
+// Golden pins for the CLI's self-describing surfaces, so drift between
+// the registries, the flag set, and the documentation fails CI instead
+// of shipping. Regenerate after an intentional change with:
+//
+//	go test ./cmd/htiersim -run TestGolden -update
+//
+// and review the diff like any other code change.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>, rewriting under
+// -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden; if intentional, regenerate with -update.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenList pins the full -list output: workload and policy tables
+// (registry-derived, so a new registration shows up here deliberately)
+// and the composition-syntax section.
+func TestGoldenList(t *testing.T) {
+	code, out, stderr := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr)
+	}
+	checkGolden(t, "list.golden", out)
+}
+
+// TestGoldenUsage pins the -h flag listing: names, help strings, and
+// defaults.
+func TestGoldenUsage(t *testing.T) {
+	code, _, stderr := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exited %d", code)
+	}
+	checkGolden(t, "usage.golden", stderr)
+}
+
+// usageFlag matches one flag definition line of the -h output ("  -name").
+var usageFlag = regexp.MustCompile(`(?m)^  -([a-z-]+)`)
+
+// TestDocCommentCoversEveryFlag is the anti-drift check behind the
+// goldens: every flag the binary defines must be named in main.go's
+// package doc comment (the Usage block or the prose), and every flag
+// the Usage block documents must exist — so `go doc` never lies about
+// the CLI in either direction.
+func TestDocCommentCoversEveryFlag(t *testing.T) {
+	_, _, usage := runCLI(t, "-h")
+	names := usageFlag.FindAllStringSubmatch(usage, -1)
+	if len(names) < 10 {
+		t.Fatalf("parsed only %d flags from usage output:\n%s", len(names), usage)
+	}
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _, ok := strings.Cut(string(src), "\npackage main")
+	if !ok {
+		t.Fatal("cannot locate the package clause in main.go")
+	}
+	for _, m := range names {
+		if !strings.Contains(doc, "-"+m[1]) {
+			t.Errorf("flag -%s is not mentioned in the package doc comment", m[1])
+		}
+	}
+	// And the reverse direction for the Usage block: flags documented
+	// there must actually exist.
+	usageBlock := regexp.MustCompile(`\[-([a-z-]+)`).FindAllStringSubmatch(doc, -1)
+	defined := map[string]bool{}
+	for _, m := range names {
+		defined[m[1]] = true
+	}
+	for _, m := range usageBlock {
+		if !defined[m[1]] {
+			t.Errorf("doc comment documents -%s, which the binary does not define", m[1])
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	         [-seed 1,2,3] [-ops 1000000] [-huge] [-cache] [-batch-ops N]
 //	         [-scale tiny|quick|full] [-workers N] [-json] [-series] [-list]
 //	         [-record run.htrc] [-replay run.htrc] [-trace-info run.htrc]
+//	         [-submit http://host:8080]
 //
 // Workloads and policies are resolved through the public registries, so
 // -list can never drift from what actually runs. -workload also accepts
@@ -26,6 +27,15 @@
 // output byte for byte, composed workloads included — and -trace-info
 // inspects a file without running anything. A trace also resolves anywhere
 // a workload name is accepted as "trace:<path>".
+//
+// With -submit the sweep is not simulated locally: the spec is posted to
+// a running htiersimd daemon (docs/SERVICE.md), progress streams back as
+// the cells complete, and the result is fetched from the daemon's
+// content-addressed cache — byte-identical to what the same flags print
+// locally, and free when another client already ran the same experiment.
+// -record and -replay name local files and therefore conflict with
+// -submit; -workers and -batch-ops are local execution knobs the daemon
+// chooses for itself.
 package main
 
 import (
@@ -73,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	record := fs.String("record", "", "capture the run's op stream to this trace file (single run only)")
 	replay := fs.String("replay", "", "replay this trace file as the workload")
 	traceInfo := fs.String("trace-info", "", "print a trace file's header and counts, then exit")
+	submit := fs.String("submit", "", "post the sweep to the htiersimd daemon at this URL instead of running locally")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h/-help prints usage and is a success, not a usage error
@@ -135,6 +146,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seeds, err := splitSeeds(*seed)
 	if err != nil {
 		return fail(2, "bad -seed: %v", err)
+	}
+
+	if *submit != "" {
+		if *record != "" || *replay != "" {
+			return fail(2, "-record and -replay name local files; they conflict with -submit")
+		}
+		params := scale.Params(0) // the seed field is per-cell; canonicalization zeroes it
+		spec := hybridtier.SweepSpec{
+			Workload: *workload,
+			Params:   &params,
+			Policies: policies,
+			Ratios:   ratios,
+			Seeds:    seeds,
+			Ops:      *ops,
+			Huge:     *huge,
+			Cache:    *cache,
+		}
+		return submitToDaemon(*submit, spec, *jsonOut, *series, *ratio, *huge, *cache, stdout, stderr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -1,0 +1,165 @@
+package main
+
+// The -submit client: instead of simulating locally, the CLI posts its
+// sweep to a running htiersimd daemon (docs/SERVICE.md), tails the job's
+// progress stream, and fetches the result from the content-addressed
+// cache. Because the daemon serves the byte-identical sweep JSON an
+// in-process run produces, `htiersim -submit URL ... -json` prints
+// exactly what the same flags print locally — the CLI test pins that.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	hybridtier "repro"
+	"repro/internal/jobs"
+)
+
+// submitToDaemon drives the submit → stream → fetch flow. Exit codes
+// mirror the local path: 0 success, 1 run/transport failure, 2 when the
+// daemon rejects the spec (the 400 body carries the validator's exact
+// message).
+func submitToDaemon(base string, spec hybridtier.SweepSpec, jsonOut, series bool, ratio string, huge, cache bool, stdout, stderr io.Writer) int {
+	fail := func(code int, format string, args ...any) int {
+		fmt.Fprintf(stderr, "htiersim: "+format+"\n", args...)
+		return code
+	}
+	base = strings.TrimRight(base, "/")
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return fail(1, "%v", err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fail(1, "submit: %v", err)
+	}
+	var sub struct {
+		ID        string `json:"id"`
+		Hash      string `json:"hash"`
+		State     jobs.State
+		CacheHit  bool   `json:"cache_hit"`
+		EventsURL string `json:"events_url"`
+		ResultURL string `json:"result_url"`
+		Error     string `json:"error"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusBadRequest:
+		return fail(2, "daemon rejected the spec: %s", sub.Error)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return fail(1, "daemon unavailable: %s", sub.Error)
+	case resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted:
+		return fail(1, "submit: unexpected status %s", resp.Status)
+	case derr != nil:
+		return fail(1, "submit: decoding response: %v", derr)
+	}
+	if sub.CacheHit {
+		fmt.Fprintf(stderr, "htiersim: cache hit on %s — served without running\n", sub.ID)
+	}
+
+	// Tail the event stream to the job's terminal state, mirroring the
+	// local sweep's progress line on stderr.
+	final, err := tailEvents(base+sub.EventsURL, jsonOut, stderr)
+	if err != nil {
+		return fail(1, "progress stream: %v", err)
+	}
+	switch final.State {
+	case jobs.Done:
+	case jobs.Canceled:
+		return fail(1, "job %s canceled: %s", sub.ID, final.Error)
+	default:
+		return fail(1, "job %s failed: %s", sub.ID, final.Error)
+	}
+
+	res, err := http.Get(base + sub.ResultURL)
+	if err != nil {
+		return fail(1, "result fetch: %v", err)
+	}
+	raw, rerr := io.ReadAll(res.Body)
+	res.Body.Close()
+	if rerr != nil || res.StatusCode != http.StatusOK {
+		return fail(1, "result fetch: status %s, %v", res.Status, rerr)
+	}
+
+	var cells []hybridtier.CellResult
+	if err := json.Unmarshal(raw, &cells); err != nil {
+		return fail(1, "result decode: %v", err)
+	}
+	failed := 0
+	for _, c := range cells {
+		if c.Err != "" {
+			failed++
+			fmt.Fprintf(stderr, "htiersim: %s 1:%d seed %d: %s\n", c.Policy, c.Ratio, c.Seed, c.Err)
+		}
+	}
+	switch {
+	case jsonOut:
+		// Re-indenting the served bytes (rather than re-marshaling the
+		// decoded structs) keeps the output byte-identical to a local
+		// `-json` run: json.Indent preserves every literal.
+		var out bytes.Buffer
+		if err := json.Indent(&out, raw, "", "  "); err != nil {
+			return fail(1, "%v", err)
+		}
+		out.WriteByte('\n')
+		stdout.Write(out.Bytes())
+	case len(cells) == 1:
+		if failed == 0 {
+			printSingle(stdout, cells[0], ratio, huge, cache, series)
+		}
+	default:
+		printSweep(stdout, cells)
+	}
+	if failed > 0 {
+		return fail(1, "%d of %d cells failed", failed, len(cells))
+	}
+	return 0
+}
+
+// tailEvents consumes the NDJSON event stream and returns the terminal
+// state event.
+func tailEvents(url string, quiet bool, stderr io.Writer) (jobs.Event, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return jobs.Event{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobs.Event{}, fmt.Errorf("status %s", resp.Status)
+	}
+	var last jobs.Event
+	progressed := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return jobs.Event{}, fmt.Errorf("bad event %q: %v", sc.Text(), err)
+		}
+		switch e.Type {
+		case "progress":
+			if !quiet {
+				progressed = true
+				fmt.Fprintf(stderr, "\rhtiersim: %d/%d cells", e.Done, e.Total)
+			}
+		case "state":
+			last = e
+		}
+	}
+	if progressed {
+		fmt.Fprintln(stderr)
+	}
+	if err := sc.Err(); err != nil {
+		return jobs.Event{}, err
+	}
+	if !last.State.Terminal() {
+		return jobs.Event{}, fmt.Errorf("stream ended before a terminal state")
+	}
+	return last, nil
+}

@@ -1,0 +1,114 @@
+package main
+
+// -submit tests: the CLI against a real daemon handler over httptest.
+// The pinned contract is the strongest the service makes: `-submit URL
+// ... -json` prints byte-for-byte what the same flags print when
+// simulating locally — cache hit or not.
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/service"
+)
+
+// startServiceServer spins a full daemon handler (manager, cache,
+// production runner) on httptest.
+func startServiceServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cache, err := jobs.NewCache(16<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jobs.NewManager(jobs.Config{Workers: 1, Run: service.Runner(2), Cache: cache})
+	srv := httptest.NewServer(service.NewHandler(service.Config{Manager: m}))
+	t.Cleanup(func() {
+		srv.Close()
+		service.Drain(m, 30*time.Second)
+	})
+	return srv
+}
+
+func TestSubmitJSONByteIdenticalToLocalRun(t *testing.T) {
+	srv := startServiceServer(t)
+	args := []string{
+		"-workload", "mix:0.7*zipf,0.3*zipf",
+		"-policy", "HybridTier,LRU",
+		"-seed", "1,2",
+		"-scale", "tiny", "-ops", "3000", "-json",
+	}
+	code, local, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("local run exited %d: %s", code, stderr)
+	}
+	code, served, stderr := runCLI(t, append(args, "-submit", srv.URL)...)
+	if code != 0 {
+		t.Fatalf("submitted run exited %d: %s", code, stderr)
+	}
+	if served != local {
+		t.Error("daemon-served -json output differs from the local run's")
+	}
+
+	// Resubmission: a cache hit that prints the same bytes again.
+	code, cached, stderr := runCLI(t, append(args, "-submit", srv.URL)...)
+	if code != 0 {
+		t.Fatalf("cache-hit run exited %d: %s", code, stderr)
+	}
+	if cached != local {
+		t.Error("cache-hit output differs from the local run's")
+	}
+	if !strings.Contains(stderr, "cache hit") {
+		t.Errorf("stderr does not mention the cache hit: %q", stderr)
+	}
+}
+
+func TestSubmitTableOutputAndProgress(t *testing.T) {
+	srv := startServiceServer(t)
+	code, out, stderr := runCLI(t,
+		"-workload", "zipf", "-policy", "HybridTier,LRU",
+		"-scale", "tiny", "-ops", "2000",
+		"-submit", srv.URL)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, want := range []string{"policy", "HybridTier", "LRU"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output lacks %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(stderr, "cells") {
+		t.Errorf("no progress line on stderr: %q", stderr)
+	}
+}
+
+func TestSubmitRejectionsAndConflicts(t *testing.T) {
+	srv := startServiceServer(t)
+	// The daemon's 400 carries the validator's exact message; the CLI
+	// relays it and exits 2 like local validation does.
+	code, _, stderr := runCLI(t, "-workload", "mix:zipf", "-submit", srv.URL)
+	if code != 2 {
+		t.Errorf("bad grammar via daemon: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "at least two") {
+		t.Errorf("stderr lacks the daemon's diagnosis: %q", stderr)
+	}
+
+	for _, args := range [][]string{
+		{"-submit", srv.URL, "-record", "x.htrc"},
+		{"-submit", srv.URL, "-replay", "x.htrc"},
+	} {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 || !strings.Contains(stderr, "conflict") {
+			t.Errorf("%v: exit %d stderr %q, want conflict diagnosis", args, code, stderr)
+		}
+	}
+
+	// No daemon listening: a transport failure, not a usage error.
+	code, _, stderr = runCLI(t, "-workload", "zipf", "-submit", "http://127.0.0.1:1")
+	if code != 1 {
+		t.Errorf("unreachable daemon: exit %d (%s), want 1", code, stderr)
+	}
+}

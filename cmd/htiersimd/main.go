@@ -1,0 +1,122 @@
+// Command htiersimd is the experiment service daemon: an HTTP server
+// that accepts sweep specifications, schedules them on a bounded worker
+// pool, streams per-cell progress, and serves results from a
+// content-addressed cache — so identical experiments are computed once
+// and shared by every client. The API and its guarantees are documented
+// in docs/SERVICE.md; the central one is byte-identity: the JSON served
+// from /results/{hash} is exactly what an in-process Sweep.Run (or
+// htiersim -json) of the same spec produces.
+//
+// Usage:
+//
+//	htiersimd [-addr :8080] [-jobs 2] [-sweep-workers 0] [-queue 64]
+//	          [-cache-mb 256] [-cache-dir DIR] [-drain-timeout 1m]
+//
+// Submit work with htiersim -submit http://host:8080 (plus the usual
+// sweep flags), or POST a JSON spec to /jobs directly:
+//
+//	curl -s localhost:8080/jobs -d '{"workload":"cdn","policies":["HybridTier","Memtis"]}'
+//
+// -jobs bounds concurrently RUNNING jobs while -sweep-workers bounds the
+// concurrent cells WITHIN each job (0 = all cores); the defaults favor
+// finishing one sweep fast over starting many. -cache-dir enables the
+// on-disk result store, which survives restarts: a resubmitted spec is
+// served from disk without re-running. On SIGTERM or SIGINT the daemon
+// drains gracefully — intake returns 503, running jobs get -drain-timeout
+// to finish (then are canceled), and in-flight event streams run to their
+// terminal event before the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr, nil))
+}
+
+// run is main with its environment injected: args are the command-line
+// arguments, logw receives the daemon's log, and ready (when non-nil) is
+// closed once the listener is serving — the hook the in-process tests
+// use. It returns the process exit code.
+func run(args []string, logw io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("htiersimd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", ":8080", "listen address")
+	jobWorkers := fs.Int("jobs", 2, "concurrently running jobs")
+	sweepWorkers := fs.Int("sweep-workers", 0, "concurrent cells per job (default: all cores)")
+	queueDepth := fs.Int("queue", 64, "queued-job limit before submissions get 503")
+	cacheMB := fs.Int64("cache-mb", 256, "in-memory result cache budget, megabytes")
+	cacheDir := fs.String("cache-dir", "", "on-disk result store (empty = memory only)")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long running jobs may finish after SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	logger := log.New(logw, "htiersimd: ", log.LstdFlags)
+
+	cache, err := jobs.NewCache(*cacheMB<<20, *cacheDir)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	manager := jobs.NewManager(jobs.Config{
+		Workers:    *jobWorkers,
+		QueueDepth: *queueDepth,
+		Run:        service.Runner(*sweepWorkers),
+		Cache:      cache,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewHandler(service.Config{Manager: manager, Log: logger}),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	logger.Printf("serving on %s (cache %d MB, dir %q)", ln.Addr(), *cacheMB, *cacheDir)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		logger.Printf("serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop taking jobs, let running ones finish inside
+	// the timeout, then close the listener once streams have ended.
+	logger.Printf("signal received; draining (timeout %s)", *drainTimeout)
+	service.Drain(manager, *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		return 1
+	}
+	logger.Print("drained cleanly")
+	return 0
+}

@@ -1,0 +1,155 @@
+package main
+
+// Daemon-level tests: run() is main with the listener address, log sink,
+// and readiness hook injected, so the full binary behavior — flag
+// parsing, serving over a real socket, SIGTERM drain — is testable
+// in-process. The HTTP semantics themselves are covered by the
+// end-to-end suite in internal/service.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL, its log buffer, and a wait function returning the exit code after
+// SIGTERM-equivalent shutdown.
+func startDaemon(t *testing.T, args ...string) (url string, logs *lockedBuffer, wait func() int) {
+	t.Helper()
+	logs = &lockedBuffer{}
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), logs, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, logs, func() int {
+			select {
+			case code := <-done:
+				return code
+			case <-time.After(30 * time.Second):
+				t.Fatal("daemon did not exit")
+				return -1
+			}
+		}
+	case code := <-done:
+		t.Fatalf("daemon exited %d before serving:\n%s", code, logs.String())
+		return "", nil, nil
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+		return "", nil, nil
+	}
+}
+
+// lockedBuffer is a concurrency-safe log sink: the daemon goroutine
+// writes while the test reads.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestDaemonServesAndDrainsOnSigterm(t *testing.T) {
+	url, logs, wait := startDaemon(t)
+
+	// The daemon answers health checks.
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	// Run one tiny sweep through the real socket so the drain below has
+	// completed work to preserve.
+	resp, err = http.Post(url+"/jobs", "application/json", strings.NewReader(
+		`{"workload":"zipf","params":{"pages":1024},"policies":["LRU"],"ops":2000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID   string `json:"id"`
+		Hash string `json:"hash"`
+	}
+	json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, sub)
+	}
+	// Stream to terminal; the result must then be fetchable.
+	resp, err = http.Get(url + "/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(events), `"state":"done"`) {
+		t.Fatalf("event stream never reached done:\n%s", events)
+	}
+	resp, err = http.Get(url + "/results/" + sub.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(result, []byte(`"policy":"LRU"`)) {
+		t.Fatalf("result fetch: %d %.120s", resp.StatusCode, result)
+	}
+
+	// SIGTERM → graceful exit 0, with the drain logged.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := wait(); code != 0 {
+		t.Fatalf("exit code %d after SIGTERM:\n%s", code, logs.String())
+	}
+	for _, want := range []string{"draining", "drained cleanly"} {
+		if !strings.Contains(logs.String(), want) {
+			t.Errorf("log lacks %q:\n%s", want, logs.String())
+		}
+	}
+}
+
+func TestDaemonBadFlagsExitTwo(t *testing.T) {
+	logs := &lockedBuffer{}
+	if code := run([]string{"-no-such-flag"}, logs, nil); code != 2 {
+		t.Errorf("bad flag exit %d, want 2", code)
+	}
+	if code := run([]string{"-h"}, logs, nil); code != 0 {
+		t.Errorf("-h exit %d, want 0", code)
+	}
+	if !strings.Contains(logs.String(), "-cache-dir") {
+		t.Error("usage text missing from -h output")
+	}
+}
+
+func TestDaemonBadCacheDirExitsOne(t *testing.T) {
+	logs := &lockedBuffer{}
+	// A cache dir nested under a regular file cannot be created.
+	if code := run([]string{"-cache-dir", "/dev/null/sub"}, logs, nil); code != 1 {
+		t.Errorf("impossible cache dir exit %d, want 1:\n%s", code, logs.String())
+	}
+}

@@ -1,0 +1,181 @@
+package jobs
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+)
+
+// hashPattern is the only accepted cache key shape: lowercase hex
+// SHA-256. Keys become file names in the on-disk store, so this is also
+// the path-traversal guard — enforced here, not just at the HTTP layer.
+var hashPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// ValidHash reports whether s is a well-formed content hash.
+func ValidHash(s string) bool { return hashPattern.MatchString(s) }
+
+// Cache is a content-addressed result store: canonical result bytes keyed
+// by the canonical-spec SHA-256. Two tiers:
+//
+//   - an in-memory LRU bounded by MaxBytes, the hot tier every Get
+//     consults first;
+//   - optionally, an on-disk store (one <hash>.json per result, plus the
+//     canonical spec as <hash>.spec.json for operators) that is written
+//     through on Put and consulted on memory misses, so results survive
+//     restarts and memory eviction.
+//
+// Because keys are content hashes of canonical specs and results are
+// deterministic, a stored value is immutable: there is no invalidation,
+// only eviction. Callers must treat returned byte slices as read-only.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	dir      string
+}
+
+// cacheEntry is one resident result.
+type cacheEntry struct {
+	hash string
+	data []byte
+}
+
+// NewCache builds a cache holding up to maxBytes of result bytes in
+// memory (minimum one entry is always kept, so a single oversized result
+// still serves). dir, when non-empty, enables the on-disk store; it is
+// created if missing.
+func NewCache(maxBytes int64, dir string) (*Cache, error) {
+	if maxBytes <= 0 {
+		return nil, fmt.Errorf("jobs: cache MaxBytes must be positive, got %d", maxBytes)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+		dir:      dir,
+	}, nil
+}
+
+// Get returns the result stored under hash. Memory hits refresh recency;
+// a memory miss falls back to the disk store and promotes the bytes back
+// into memory.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	if !ValidHash(hash) {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.items[hash]; ok {
+		c.ll.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.resultPath(hash))
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.insert(hash, data)
+	c.mu.Unlock()
+	return data, true
+}
+
+// Put stores result under hash, writing through to the disk store when
+// one is configured. The memory insert always succeeds; the returned
+// error reports only a disk-store failure. spec (the canonical spec JSON)
+// is archived beside the result on disk so an operator can tell what a
+// hash is without reversing it; it is not needed to serve Get.
+func (c *Cache) Put(hash string, result, spec []byte) error {
+	if !ValidHash(hash) {
+		return fmt.Errorf("jobs: invalid cache hash %q", hash)
+	}
+	c.mu.Lock()
+	c.insert(hash, result)
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	if err := writeAtomic(c.resultPath(hash), result); err != nil {
+		return err
+	}
+	// The spec sidecar is best-effort metadata: its loss never loses a
+	// result, so its write shares the result's error but not its fate.
+	return writeAtomic(filepath.Join(c.dir, hash+".spec.json"), spec)
+}
+
+// insert adds or refreshes a memory entry and evicts from the cold end
+// past MaxBytes. Callers hold mu.
+func (c *Cache) insert(hash string, data []byte) {
+	if el, ok := c.items[hash]; ok {
+		// Content-addressed: same hash, same bytes. Refresh recency only.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{hash: hash, data: data})
+	c.items[hash] = el
+	c.bytes += int64(len(data))
+	for c.bytes > c.maxBytes && c.ll.Len() > 1 {
+		cold := c.ll.Back()
+		e := cold.Value.(*cacheEntry)
+		c.ll.Remove(cold)
+		delete(c.items, e.hash)
+		c.bytes -= int64(len(e.data))
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the in-memory result footprint.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// resultPath is the on-disk location of a hash's result bytes.
+func (c *Cache) resultPath(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// writeAtomic writes data via a temp file + rename so a crashed daemon
+// never leaves a half-written result that a later Get would serve.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".cache-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

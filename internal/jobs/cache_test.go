@@ -1,0 +1,145 @@
+package jobs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, h2, h3 := hashOf("1"), hashOf("2"), hashOf("3")
+	payload := bytes.Repeat([]byte("x"), 40)
+	for _, h := range []string{h1, h2, h3} { // 120 bytes > 100: h1 evicts
+		if err := c.Put(h, payload, []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get(h1); ok {
+		t.Error("oldest entry survived past MaxBytes")
+	}
+	for _, h := range []string{h2, h3} {
+		if _, ok := c.Get(h); !ok {
+			t.Errorf("entry %s evicted while within budget", h[:8])
+		}
+	}
+	if c.Len() != 2 || c.Bytes() != 80 {
+		t.Errorf("Len=%d Bytes=%d, want 2/80", c.Len(), c.Bytes())
+	}
+	// Recency: touch h2, insert h4 — h3 (now coldest) goes.
+	c.Get(h2)
+	h4 := hashOf("4")
+	if err := c.Put(h4, payload, []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(h3); ok {
+		t.Error("LRU evicted by insertion order, not recency")
+	}
+	if _, ok := c.Get(h2); !ok {
+		t.Error("recently used entry evicted")
+	}
+}
+
+func TestCacheOversizedEntryStillServes(t *testing.T) {
+	c, err := NewCache(10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("y"), 1000)
+	h := hashOf("big")
+	if err := c.Put(h, big, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get(h); !ok || len(got) != 1000 {
+		t.Error("an entry larger than MaxBytes must still be retained")
+	}
+}
+
+func TestCacheDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashOf("disk")
+	if err := c.Put(h, []byte(`[{"cell":1}]`), []byte(`{"workload":"zipf"}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Both files land, atomically named.
+	if _, err := os.Stat(filepath.Join(dir, h+".json")); err != nil {
+		t.Errorf("result file missing: %v", err)
+	}
+	if spec, err := os.ReadFile(filepath.Join(dir, h+".spec.json")); err != nil || !strings.Contains(string(spec), "zipf") {
+		t.Errorf("spec sidecar missing or wrong: %q, %v", spec, err)
+	}
+	// A fresh cache over the same dir serves from disk (restart survival)
+	// and promotes the entry into memory.
+	c2, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(h)
+	if !ok || string(got) != `[{"cell":1}]` {
+		t.Fatalf("disk read-through = %q, %v", got, ok)
+	}
+	if c2.Len() != 1 {
+		t.Error("disk hit was not promoted into memory")
+	}
+	// No leftover temp files from atomic writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".cache-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestCacheRejectsMalformedHashes(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"",
+		"short",
+		strings.Repeat("G", 64),      // not hex
+		strings.ToUpper(hashOf("x")), // wrong case
+		"../../etc/passwd",           // traversal
+		"..%2f" + hashOf("x")[:58],   // encoded traversal
+		hashOf("x") + "/" + strings.Repeat("a", 3), // suffix path
+	}
+	for _, h := range bad {
+		if err := c.Put(h, []byte("d"), nil); err == nil {
+			t.Errorf("Put(%q) accepted a malformed hash", h)
+		}
+		if _, ok := c.Get(h); ok {
+			t.Errorf("Get(%q) served a malformed hash", h)
+		}
+	}
+	if !ValidHash(hashOf("x")) {
+		t.Error("ValidHash rejects a real hash")
+	}
+}
+
+func TestNewCacheValidation(t *testing.T) {
+	if _, err := NewCache(0, ""); err == nil {
+		t.Error("MaxBytes 0 accepted")
+	}
+	// dir creation failure surfaces as an error, not a panic.
+	file := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCache(1, filepath.Join(file, "sub")); err == nil {
+		t.Error("impossible cache dir accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package registry
+
+import "testing"
+
+// TestValidateExactErrorMessages pins the EXACT text of every grammar and
+// validation failure. These strings are part of the service API: the
+// experiment daemon's 400 responses carry them verbatim (docs/SERVICE.md),
+// so clients may match on them and a rewording is a breaking change. The
+// grammar tests elsewhere check substrings; this table is the contract.
+func TestValidateExactErrorMessages(t *testing.T) {
+	r := grammarRegistry() // registers exactly "a" and "b"
+	cases := []struct {
+		name string // subtest label
+		spec string
+		want string
+	}{
+		{
+			"empty",
+			"",
+			`registry: workload "": empty workload name`,
+		},
+		{
+			"unknown name",
+			"nope",
+			`registry: workload "nope": unknown workload "nope" (known: a, b)`,
+		},
+		{
+			"metacharacters in name",
+			"cdn+silo",
+			`registry: workload "cdn+silo": workload name "cdn+silo" contains grammar metacharacters; registered names never do`,
+		},
+		{
+			"bare trace scheme",
+			"trace:",
+			`registry: workload "trace:": "trace:" needs a path after the scheme`,
+		},
+		{
+			"mix with one tenant",
+			"mix:0.7*a",
+			`registry: workload "mix:0.7*a": mix needs at least two comma-separated tenants, got 1 in "0.7*a"`,
+		},
+		{
+			"mix weight zero",
+			"mix:0*a,1*b",
+			`registry: workload "mix:0*a,1*b": mix weight 0 outside (0, 1e+09]`,
+		},
+		{
+			"mix weight negative",
+			"mix:-2*a,1*b",
+			`registry: workload "mix:-2*a,1*b": mix weight -2 outside (0, 1e+09]`,
+		},
+		{
+			"mix weight unparsable",
+			"mix:x*a,b",
+			`registry: workload "mix:x*a,b": bad mix weight "x": strconv.ParseFloat: parsing "x": invalid syntax`,
+		},
+		{
+			"mix unknown tenant",
+			"mix:0.5*a,0.5*nope",
+			`registry: workload "mix:0.5*a,0.5*nope": unknown workload "nope" (known: a, b)`,
+		},
+		{
+			"phases stage without op count",
+			"phases:a,b",
+			`registry: workload "phases:a,b": phase stage "a" needs an op count: write name@ops`,
+		},
+		{
+			"phases single stage",
+			"phases:a@10",
+			`registry: workload "phases:a@10": phases need at least two comma-separated stages, got 1 in "a@10"`,
+		},
+		{
+			"phases final stage with op count",
+			"phases:a@10,b@20",
+			`registry: workload "phases:a@10,b@20": the final phase runs until the simulation ends; drop "@20"`,
+		},
+		{
+			"repeat without op count",
+			"repeat:a",
+			`registry: workload "repeat:a": repeat needs an op count: repeat:name@ops, got "a"`,
+		},
+		{
+			"repeat op count zero",
+			"repeat:a@0",
+			`registry: workload "repeat:a@0": repeat op count 0 outside [1, 1099511627776]`,
+		},
+		{
+			"offset without page count",
+			"offset:a",
+			`registry: workload "offset:a": offset needs a page count: offset:name+pages, got "a"`,
+		},
+		{
+			"offset page count negative",
+			"offset:a+-1",
+			`registry: workload "offset:a+-1": offset page count -1 outside [0, 1099511627776]`,
+		},
+		{
+			"scale without factor",
+			"scale:a",
+			`registry: workload "scale:a": scale needs a factor: scale:name*factor, got "a"`,
+		},
+		{
+			"scale factor too large",
+			"scale:a*2000000",
+			`registry: workload "scale:a*2000000": scale factor 2000000 outside [1, 1048576]`,
+		},
+		{
+			"unbalanced open paren",
+			"mix:0.5*(a,0.5*b",
+			`registry: workload "mix:0.5*(a,0.5*b": unbalanced '(' in "0.5*(a,0.5*b"`,
+		},
+		{
+			"unbalanced close paren",
+			"mix:a),b",
+			`registry: workload "mix:a),b": unbalanced ')' at byte 1 of "a),b"`,
+		},
+		{
+			"unparenthesized nested combinator",
+			"mix:0.5*mix:a,b,0.5*a",
+			`registry: workload "mix:0.5*mix:a,b,0.5*a": nested combinators must be parenthesized: write (mix:a)`,
+		},
+		{
+			"bad op count syntax",
+			"phases:a@ten,b",
+			`registry: workload "phases:a@ten,b": bad phase op count "ten": strconv.ParseInt: parsing "ten": invalid syntax`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := r.Validate(c.spec)
+			if err == nil {
+				t.Fatalf("Validate(%q) = nil, want error", c.spec)
+			}
+			if err.Error() != c.want {
+				t.Errorf("Validate(%q) =\n  %q\nwant\n  %q", c.spec, err.Error(), c.want)
+			}
+			// Normalize must diagnose identically: the daemon normalizes on
+			// submit, so its 400 body is whichever of the two ran first.
+			if _, nerr := r.Normalize(c.spec); nerr == nil || nerr.Error() != c.want {
+				t.Errorf("Normalize(%q) error %v diverges from Validate's", c.spec, nerr)
+			}
+		})
+	}
+}

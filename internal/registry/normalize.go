@@ -1,0 +1,117 @@
+package registry
+
+// Spec normalization: one canonical string per composition tree, so
+// textually different spellings of the same workload ("mix:cdn,silo",
+// "mix: 1*cdn , 1*silo", "(mix:cdn,silo)") hash to the same
+// content-addressed result in the experiment service. The canonical form
+// is defined by renderNode: explicit weights, no whitespace, composite
+// children parenthesized, leaf children bare — and it always re-parses to
+// the same tree (TestNormalizeRoundTrip holds us to it).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Normalize parses name — a plain workload name, a trace:<path>, or a
+// composition spec — validates every referenced generator, and returns
+// the canonical spelling: whitespace stripped, mix weights explicit,
+// nested combinators parenthesized exactly once. Two specs normalize to
+// the same string iff they describe the same composition tree, which is
+// what makes the string a sound input for content-addressed hashing
+// (docs/SERVICE.md). Errors are the same ones Validate reports.
+func (r *WorkloadRegistry) Normalize(name string) (string, error) {
+	node, err := parseSpec(name, 0)
+	if err != nil {
+		return "", fmt.Errorf("registry: workload %q: %w", name, err)
+	}
+	if err := r.validateNode(node); err != nil {
+		return "", fmt.Errorf("registry: workload %q: %w", name, err)
+	}
+	return renderNode(node), nil
+}
+
+// renderNode renders a parsed spec tree in canonical form. It is the
+// inverse of parseSpec up to normalization: parse(render(t)) == t.
+func renderNode(n specNode) string {
+	switch n := n.(type) {
+	case leafNode:
+		return n.name
+	case mixNode:
+		parts := make([]string, len(n.parts))
+		for i, c := range n.parts {
+			parts[i] = strconv.FormatFloat(n.weights[i], 'g', -1, 64) + "*" + renderAtom(c)
+		}
+		return "mix:" + strings.Join(parts, ",")
+	case phasesNode:
+		stages := make([]string, len(n.stages))
+		for i, c := range n.stages {
+			stages[i] = renderAtom(c)
+			if n.ops[i] != 0 {
+				stages[i] += "@" + strconv.FormatInt(n.ops[i], 10)
+			}
+		}
+		return "phases:" + strings.Join(stages, ",")
+	case repeatNode:
+		return "repeat:" + renderAtom(n.child) + "@" + strconv.FormatInt(n.ops, 10)
+	case offsetNode:
+		return "offset:" + renderAtom(n.child) + "+" + strconv.FormatInt(n.pages, 10)
+	case scaleNode:
+		return "scale:" + renderAtom(n.child) + "*" + strconv.FormatInt(n.factor, 10)
+	default:
+		// parseSpec produces only the six node kinds above; a new kind
+		// must extend this switch before it can parse.
+		panic("registry: unhandled spec node in renderNode")
+	}
+}
+
+// renderAtom renders a child position: leaves are bare, composite
+// children get the parentheses the grammar requires of nested combinators.
+func renderAtom(n specNode) string {
+	if l, ok := n.(leafNode); ok {
+		return l.name
+	}
+	return "(" + renderNode(n) + ")"
+}
+
+// HasTraceWorkload reports whether name — after parsing the composition
+// grammar — references a trace:<path> replay anywhere in its tree. The
+// experiment service refuses such specs: its result cache is addressed
+// by the spec's hash, which covers the PATH string but not the trace
+// file's bytes, so a replaced trace would serve stale results as fresh.
+// Parse errors are reported like Validate's.
+func (r *WorkloadRegistry) HasTraceWorkload(name string) (bool, error) {
+	node, err := parseSpec(name, 0)
+	if err != nil {
+		return false, fmt.Errorf("registry: workload %q: %w", name, err)
+	}
+	return nodeHasTrace(node), nil
+}
+
+// nodeHasTrace walks a parsed spec for trace: leaves.
+func nodeHasTrace(n specNode) bool {
+	switch n := n.(type) {
+	case leafNode:
+		return strings.HasPrefix(n.name, TraceScheme)
+	case mixNode:
+		for _, c := range n.parts {
+			if nodeHasTrace(c) {
+				return true
+			}
+		}
+	case phasesNode:
+		for _, c := range n.stages {
+			if nodeHasTrace(c) {
+				return true
+			}
+		}
+	case repeatNode:
+		return nodeHasTrace(n.child)
+	case offsetNode:
+		return nodeHasTrace(n.child)
+	case scaleNode:
+		return nodeHasTrace(n.child)
+	}
+	return false
+}

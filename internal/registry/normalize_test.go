@@ -1,0 +1,97 @@
+package registry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNormalizeCanonicalForms(t *testing.T) {
+	r := grammarRegistry()
+	cases := []struct {
+		in, want string
+	}{
+		// Plain names pass through untouched.
+		{"a", "a"},
+		{"  a  ", "a"},
+		{"trace:/tmp/x.htrc", "trace:/tmp/x.htrc"},
+		// Parenthesized leaves lose their parentheses.
+		{"(a)", "a"},
+		{"((a))", "a"},
+		// Mix weights become explicit; whitespace is stripped.
+		{"mix:a,b", "mix:1*a,1*b"},
+		{"mix: 0.7*a , 0.3*b", "mix:0.7*a,0.3*b"},
+		{"mix:0.70*a,0.30*b", "mix:0.7*a,0.3*b"},
+		// A parenthesized leaf inside a combinator is rendered bare; a
+		// nested combinator keeps exactly one set of parentheses.
+		{"mix:0.5*(a),0.5*(b)", "mix:0.5*a,0.5*b"},
+		{"mix:0.5*((phases:a@10,b)),0.5*b", "mix:0.5*(phases:a@10,b),0.5*b"},
+		{"phases:a@1000,b", "phases:a@1000,b"},
+		{"phases: a @ 1000 , b", "phases:a@1000,b"},
+		{"repeat:(a)@500", "repeat:a@500"},
+		{"offset:a+100", "offset:a+100"},
+		{"scale:(mix:a,b)*4", "scale:(mix:1*a,1*b)*4"},
+	}
+	for _, c := range cases {
+		got, err := r.Normalize(c.in)
+		if err != nil {
+			t.Errorf("Normalize(%q) = error %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNormalizeRoundTrip: the canonical form must be a fixed point — it
+// re-parses to the same tree and re-normalizes to itself. Hashing a
+// canonical spec is only sound if this holds.
+func TestNormalizeRoundTrip(t *testing.T) {
+	r := grammarRegistry()
+	specs := []string{
+		"a",
+		"mix:a,b,a",
+		"mix:0.125*a,0.875*(phases:a@10,b)",
+		"phases:a@1000,(repeat:b@50)",
+		"repeat:(offset:a+64)@500",
+		"offset:(scale:b*2)+100",
+		"scale:(mix:0.5*a,0.5*(phases:a@7,b))*3",
+	}
+	for _, s := range specs {
+		canon, err := r.Normalize(s)
+		if err != nil {
+			t.Fatalf("Normalize(%q): %v", s, err)
+		}
+		again, err := r.Normalize(canon)
+		if err != nil {
+			t.Fatalf("Normalize(%q) [canonical of %q]: %v", canon, s, err)
+		}
+		if again != canon {
+			t.Errorf("canonical form is not a fixed point: %q -> %q -> %q", s, canon, again)
+		}
+		// Structural round trip, not just string equality of the second pass.
+		n1, err := parseSpec(s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n2, err := parseSpec(canon, 0)
+		if err != nil {
+			t.Fatalf("canonical %q does not re-parse: %v", canon, err)
+		}
+		if !reflect.DeepEqual(n1, n2) {
+			t.Errorf("parse(%q) != parse(%q)", s, canon)
+		}
+	}
+}
+
+func TestNormalizeRejectsWhatValidateRejects(t *testing.T) {
+	r := grammarRegistry()
+	for _, s := range []string{"", "mix:a", "phases:a,b", "nope", "mix:0.5*(a,0.5*b"} {
+		if _, err := r.Normalize(s); err == nil {
+			t.Errorf("Normalize(%q) accepted an invalid spec", s)
+		}
+		if err := r.Validate(s); err == nil {
+			t.Errorf("Validate(%q) accepted an invalid spec", s)
+		}
+	}
+}

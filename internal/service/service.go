@@ -1,0 +1,340 @@
+// Package service is the HTTP layer of the experiment daemon
+// (cmd/htiersimd): it translates between the REST+streaming API described
+// in docs/SERVICE.md and the jobs subsystem (internal/jobs), and owns the
+// one function that turns a canonical SweepSpec into executed cells
+// (Runner, over the facade's Sweep.Run).
+//
+// The API's central guarantee is inherited, not implemented, here: a
+// sweep's JSON is a pure function of its canonical spec, so the bytes
+// served from /results/{hash} are byte-identical to what an in-process
+// Sweep.Run of the same spec marshals — whether they were computed by
+// this request, an earlier one, or read back from the on-disk store. The
+// end-to-end tests pin that identity.
+//
+// Living in internal/ keeps the handler constructible by tests
+// (httptest) and by cmd/htiersimd without exporting a server API from the
+// facade.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	hybridtier "repro"
+	"repro/internal/jobs"
+	"repro/internal/registry"
+)
+
+// Version is reported by /healthz so operators can tell what they are
+// talking to.
+const Version = "htiersimd/1"
+
+// Config assembles a handler.
+type Config struct {
+	// Manager schedules and caches jobs (required).
+	Manager *jobs.Manager
+	// Log receives one line per request outcome; nil silences.
+	Log *log.Logger
+}
+
+// Runner returns the jobs.Runner that executes canonical sweep specs:
+// unmarshal, rebuild the Sweep, run it with sweepWorkers concurrent
+// cells, and marshal the cells exactly as the golden tests do
+// (encoding/json, compact). Per-cell failures are data, not job
+// failures — the cells carry their "error" fields, matching the CLI.
+func Runner(sweepWorkers int) jobs.Runner {
+	return func(ctx context.Context, spec []byte, progress func(done, total int)) ([]byte, error) {
+		var s hybridtier.SweepSpec
+		if err := json.Unmarshal(spec, &s); err != nil {
+			return nil, fmt.Errorf("service: corrupt canonical spec: %w", err)
+		}
+		sw, err := s.Sweep()
+		if err != nil {
+			return nil, err
+		}
+		sw.Workers = sweepWorkers
+		sw.Progress = progress
+		cells, err := sw.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(cells)
+	}
+}
+
+// handler carries the mux plus its dependencies.
+type handler struct {
+	m   *jobs.Manager
+	log *log.Logger
+}
+
+// NewHandler builds the daemon's http.Handler. Routes:
+//
+//	GET    /healthz          liveness + job/cache counters
+//	GET    /workloads        registered workloads, policies, grammar syntax
+//	POST   /jobs             submit a SweepSpec; 400 carries the validator's exact message
+//	GET    /jobs             list jobs
+//	GET    /jobs/{id}        one job's snapshot
+//	DELETE /jobs/{id}        request cancellation
+//	GET    /jobs/{id}/events stream progress (NDJSON; SSE on Accept: text/event-stream)
+//	GET    /results/{hash}   canonical sweep JSON by content hash
+func NewHandler(cfg Config) http.Handler {
+	h := &handler{m: cfg.Manager, log: cfg.Log}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /workloads", h.workloads)
+	mux.HandleFunc("POST /jobs", h.submit)
+	mux.HandleFunc("GET /jobs", h.list)
+	mux.HandleFunc("GET /jobs/{id}", h.job)
+	mux.HandleFunc("DELETE /jobs/{id}", h.cancel)
+	mux.HandleFunc("GET /jobs/{id}/events", h.events)
+	mux.HandleFunc("GET /results/{hash}", h.result)
+	return mux
+}
+
+// errorBody is every non-2xx JSON payload: {"error": "..."}.
+func (h *handler) error(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// reply writes v as JSON with the given status.
+func (h *handler) reply(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (h *handler) logf(format string, args ...any) {
+	if h.log != nil {
+		h.log.Printf(format, args...)
+	}
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	states := map[jobs.State]int{}
+	for _, info := range h.m.Jobs() {
+		states[info.State]++
+	}
+	h.reply(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": Version,
+		"jobs":    states,
+	})
+}
+
+// workloadInfo is one /workloads row.
+type workloadInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+func (h *handler) workloads(w http.ResponseWriter, r *http.Request) {
+	var wl, pol []workloadInfo
+	for _, name := range registry.Workloads.Names() {
+		e, _ := registry.Workloads.Lookup(name)
+		wl = append(wl, workloadInfo{Name: name, Doc: e.Doc})
+	}
+	for _, name := range registry.Policies.Names() {
+		e, _ := registry.Policies.Lookup(name)
+		pol = append(pol, workloadInfo{Name: name, Doc: e.Doc})
+	}
+	h.reply(w, http.StatusOK, map[string]any{
+		"workloads":   wl,
+		"policies":    pol,
+		"composition": registry.SpecSyntax(),
+	})
+}
+
+// submitResponse is the POST /jobs payload: the job snapshot plus the
+// URLs a client needs next.
+type submitResponse struct {
+	jobs.Info
+	EventsURL string `json:"events_url"`
+	ResultURL string `json:"result_url"`
+}
+
+func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec hybridtier.SweepSpec
+	if err := dec.Decode(&spec); err != nil {
+		h.error(w, http.StatusBadRequest, "bad spec JSON: "+err.Error())
+		return
+	}
+	// Canonicalize once; the job stores and executes the canonical form,
+	// and the 400 text is exactly what the validator reports (pinned by
+	// the registry's error-message tests).
+	canonical, err := spec.CanonicalJSON()
+	if err != nil {
+		h.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hash := hybridtier.HashCanonicalJSON(canonical)
+	job, created, err := h.m.Submit(hash, canonical)
+	switch {
+	case errors.Is(err, jobs.ErrDraining):
+		h.error(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	case errors.Is(err, jobs.ErrBusy):
+		h.error(w, http.StatusServiceUnavailable, "job queue is full")
+		return
+	case err != nil:
+		h.error(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	info := job.Info()
+	code := http.StatusAccepted
+	if info.State == jobs.Done {
+		code = http.StatusOK // cache hit: the result is ready now
+	}
+	h.logf("submit %s hash=%s created=%v state=%s", info.ID, hash[:12], created, info.State)
+	h.reply(w, code, submitResponse{
+		Info:      info,
+		EventsURL: "/jobs/" + info.ID + "/events",
+		ResultURL: "/results/" + info.Hash,
+	})
+}
+
+func (h *handler) list(w http.ResponseWriter, r *http.Request) {
+	h.reply(w, http.StatusOK, map[string]any{"jobs": h.m.Jobs()})
+}
+
+func (h *handler) job(w http.ResponseWriter, r *http.Request) {
+	j, ok := h.m.Get(r.PathValue("id"))
+	if !ok {
+		h.error(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	h.reply(w, http.StatusOK, j.Info())
+}
+
+func (h *handler) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !h.m.Cancel(id) {
+		h.error(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	j, _ := h.m.Get(id)
+	h.logf("cancel %s", id)
+	h.reply(w, http.StatusOK, j.Info())
+}
+
+// events streams a job's event history and live tail. NDJSON by default
+// (one jobs.Event per line); Server-Sent Events when the client asks for
+// text/event-stream. ?from=N resumes after a dropped connection. The
+// stream always ends with the job's terminal state event.
+func (h *handler) events(w http.ResponseWriter, r *http.Request) {
+	j, ok := h.m.Get(r.PathValue("id"))
+	if !ok {
+		h.error(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	from := 0
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			h.error(w, http.StatusBadRequest, "bad from parameter: want a non-negative integer")
+			return
+		}
+		from = v
+	}
+	sse := false
+	for _, accept := range r.Header.Values("Accept") {
+		if containsMediaType(accept, "text/event-stream") {
+			sse = true
+		}
+	}
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush() // commit headers before the first (possibly long) wait
+	for {
+		events, terminal, err := j.Next(r.Context(), from)
+		if err != nil {
+			return // client went away
+		}
+		for _, e := range events {
+			b, merr := json.Marshal(e)
+			if merr != nil {
+				return
+			}
+			if sse {
+				fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, b)
+			} else {
+				w.Write(b)
+				w.Write([]byte("\n"))
+			}
+		}
+		flush()
+		from += len(events)
+		if terminal {
+			return
+		}
+	}
+}
+
+// containsMediaType reports whether the Accept header value names the
+// media type (ignoring ;q= parameters and whitespace).
+func containsMediaType(accept, mt string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		part, _, _ = strings.Cut(part, ";")
+		if strings.TrimSpace(part) == mt {
+			return true
+		}
+	}
+	return false
+}
+
+// result serves cached sweep JSON by content hash. The bytes are
+// immutable — the hash IS the content address — so the response carries
+// a strong ETag and long-lived caching headers.
+func (h *handler) result(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !jobs.ValidHash(hash) {
+		h.error(w, http.StatusBadRequest, "malformed result hash: want 64 lowercase hex digits")
+		return
+	}
+	data, ok := h.m.Result(hash)
+	if !ok {
+		h.error(w, http.StatusNotFound, "no result for hash "+hash)
+		return
+	}
+	etag := `"` + hash + `"`
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// Drain performs the daemon's graceful shutdown of job execution,
+// bounded by timeout. It exists here (thinly over jobs.Manager.Drain) so
+// cmd/htiersimd needs no direct dependency on internal/jobs semantics.
+func Drain(m *jobs.Manager, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	m.Drain(ctx)
+}
