@@ -163,6 +163,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Huge:     *huge,
 			Cache:    *cache,
 		}
+		// A local trace:<path> cannot run on the daemon (the path means
+		// nothing there, and paths are not content-addressable) — but its
+		// BYTES are. Upload the file into the daemon's corpus and submit
+		// the spec as corpus:<hash>, which caches soundly.
+		if path, ok := strings.CutPrefix(*workload, registry.TraceScheme); ok {
+			hash, recordedOps, code := uploadTrace(*submit, path, stderr)
+			if code != 0 {
+				return code
+			}
+			spec.Workload = registry.CorpusScheme + hash
+			spec.Params = nil // a replay is literal; params size only generators
+			if !flagWasSet("ops") {
+				// Match the local replay default: the recorded length, not
+				// the generator default the flag carries.
+				spec.Ops = recordedOps
+			}
+		}
 		return submitToDaemon(*submit, spec, *jsonOut, *series, *ratio, *huge, *cache, stdout, stderr)
 	}
 
@@ -379,6 +396,7 @@ func printTraceInfo(stdout, stderr io.Writer, path string) int {
 	fmt.Fprintf(stdout, "pages          %d (%.1f MB at 4 KB)\n",
 		info.NumPages, float64(info.NumPages)*float64(mem.RegularPageBytes)/(1<<20))
 	fmt.Fprintf(stdout, "seed           %d\n", info.Seed)
+	fmt.Fprintf(stdout, "format         v%d\n", info.Version)
 	fmt.Fprintf(stdout, "compressed     %v\n", info.Compressed)
 	fmt.Fprintf(stdout, "shift-capable  %v\n", info.Shift)
 	fmt.Fprintf(stdout, "ops            %d (%d page accesses)\n", info.Ops, info.Accesses)

@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 
 	hybridtier "repro"
 	"repro/internal/jobs"
+	"repro/internal/tracefile"
 )
 
 // submitToDaemon drives the submit → stream → fetch flow. Exit codes
@@ -121,6 +123,61 @@ func submitToDaemon(base string, spec hybridtier.SweepSpec, jsonOut, series bool
 		return fail(1, "%d of %d cells failed", failed, len(cells))
 	}
 	return 0
+}
+
+// uploadTrace streams a local trace file into the daemon's corpus and
+// returns its content hash plus the recorded op count (the replay-length
+// default). The trace is validated locally first, so a truncated capture
+// fails with the decoder's diagnosis instead of a round trip. Exit-code
+// conventions match submitToDaemon; 0 means the upload (or dedup hit)
+// succeeded.
+func uploadTrace(base, path string, stderr io.Writer) (hash string, recordedOps int64, code int) {
+	fail := func(code int, format string, args ...any) (string, int64, int) {
+		fmt.Fprintf(stderr, "htiersim: "+format+"\n", args...)
+		return "", 0, code
+	}
+	info, err := tracefile.Stat(path)
+	if err != nil {
+		return fail(2, "%v", err)
+	}
+	if !info.Clean {
+		return fail(2, "trace %s is incomplete (aborted or chopped capture); re-record it before submitting", path)
+	}
+	if info.Ops == 0 {
+		return fail(2, "trace %s has no op records", path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fail(1, "%v", err)
+	}
+	defer f.Close()
+	resp, err := http.Post(strings.TrimRight(base, "/")+"/traces", "application/octet-stream", f)
+	if err != nil {
+		return fail(1, "trace upload: %v", err)
+	}
+	var up struct {
+		Hash  string `json:"hash"`
+		Ops   int64  `json:"ops"`
+		Error string `json:"error"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&up)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusRequestEntityTooLarge:
+		return fail(2, "daemon rejected the trace: %s", up.Error)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return fail(1, "daemon unavailable: %s", up.Error)
+	case resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated:
+		return fail(1, "trace upload: unexpected status %s", resp.Status)
+	case derr != nil:
+		return fail(1, "trace upload: decoding response: %v", derr)
+	}
+	if resp.StatusCode == http.StatusOK {
+		fmt.Fprintf(stderr, "htiersim: trace already in corpus as %s\n", up.Hash[:12])
+	} else {
+		fmt.Fprintf(stderr, "htiersim: trace uploaded as %s (%d ops)\n", up.Hash[:12], up.Ops)
+	}
+	return up.Hash, up.Ops, 0
 }
 
 // tailEvents consumes the NDJSON event stream and returns the terminal

@@ -10,7 +10,8 @@
 // Usage:
 //
 //	htiersimd [-addr :8080] [-jobs 2] [-sweep-workers 0] [-queue 64]
-//	          [-cache-mb 256] [-cache-dir DIR] [-drain-timeout 1m]
+//	          [-cache-mb 256] [-cache-dir DIR] [-cache-disk-mb 0]
+//	          [-corpus-dir DIR] [-max-trace-mb 1024] [-drain-timeout 1m]
 //
 // Submit work with htiersim -submit http://host:8080 (plus the usual
 // sweep flags), or POST a JSON spec to /jobs directly:
@@ -21,7 +22,16 @@
 // concurrent cells WITHIN each job (0 = all cores); the defaults favor
 // finishing one sweep fast over starting many. -cache-dir enables the
 // on-disk result store, which survives restarts: a resubmitted spec is
-// served from disk without re-running. On SIGTERM or SIGINT the daemon
+// served from disk without re-running; -cache-disk-mb bounds that store,
+// evicting oldest results first (0 = unbounded).
+//
+// -corpus-dir roots the content-addressed trace corpus behind POST
+// /traces and corpus:<hash> workloads. When the flag is empty the daemon
+// still serves the trace API out of a private temporary directory —
+// uploads work, but they vanish with the process; point -corpus-dir at a
+// real path to keep them. -max-trace-mb bounds one upload.
+//
+// On SIGTERM or SIGINT the daemon
 // drains gracefully — intake returns 503, running jobs get -drain-timeout
 // to finish (then are canceled), and in-flight event streams run to their
 // terminal event before the listener closes.
@@ -40,7 +50,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/jobs"
+	"repro/internal/registry"
 	"repro/internal/service"
 )
 
@@ -61,6 +73,9 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 	queueDepth := fs.Int("queue", 64, "queued-job limit before submissions get 503")
 	cacheMB := fs.Int64("cache-mb", 256, "in-memory result cache budget, megabytes")
 	cacheDir := fs.String("cache-dir", "", "on-disk result store (empty = memory only)")
+	cacheDiskMB := fs.Int64("cache-disk-mb", 0, "on-disk result store budget, megabytes (0 = unbounded)")
+	corpusDir := fs.String("corpus-dir", "", "trace corpus directory (empty = private temp dir, lost at exit)")
+	maxTraceMB := fs.Int64("max-trace-mb", 1024, "largest accepted trace upload, megabytes")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long running jobs may finish after SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -75,6 +90,30 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		logger.Print(err)
 		return 1
 	}
+	cache.SetMaxDiskBytes(*cacheDiskMB << 20)
+
+	// The corpus always exists — corpus: workloads must resolve in every
+	// daemon — but without -corpus-dir it lives in a temp dir that dies
+	// with the process, making the ephemerality explicit rather than
+	// silently writing next to the binary.
+	dir := *corpusDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "htiersimd-corpus-*")
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	store, err := corpus.Open(dir)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	registry.SetCorpusResolver(store.Path)
+	defer registry.SetCorpusResolver(nil)
+
 	manager := jobs.NewManager(jobs.Config{
 		Workers:    *jobWorkers,
 		QueueDepth: *queueDepth,
@@ -82,8 +121,13 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		Cache:      cache,
 	})
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: service.NewHandler(service.Config{Manager: manager, Log: logger}),
+		Addr: *addr,
+		Handler: service.NewHandler(service.Config{
+			Manager:       manager,
+			Corpus:        store,
+			MaxTraceBytes: *maxTraceMB << 20,
+			Log:           logger,
+		}),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -97,7 +141,8 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	logger.Printf("serving on %s (cache %d MB, dir %q)", ln.Addr(), *cacheMB, *cacheDir)
+	logger.Printf("serving on %s (cache %d MB, dir %q; corpus %q, %d traces)",
+		ln.Addr(), *cacheMB, *cacheDir, dir, store.Len())
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

@@ -2,13 +2,20 @@
 // (op,page,write) for eyeballing and external tools, or as a binary trace
 // file (docs/TRACE_FORMAT.md) that replays as a first-class workload via
 // htiersim -replay or the "trace:<path>" workload name. Traces can be
-// large; use -ops to bound them, and a ".gz" -o suffix to compress binary
-// output.
+// large; use -ops to bound them, and a ".gz" -o suffix to compress v1
+// binary output. -format bin2 writes the columnar v2 container instead:
+// seekable (partial replays start mid-trace without decoding the prefix)
+// and packed for the batched hot path, at the cost of gzip framing.
 //
 // Usage:
 //
 //	tracegen -workload pr-kron -ops 10000 [-scale quick|full] [-seed 1]
-//	         [-format csv|bin] [-o out.htrc]
+//	         [-format csv|bin|bin2] [-o out.htrc]
+//	tracegen -convert in.htrc -o out.htrc [-format bin|bin2]
+//
+// -convert rewrites an existing trace into the -format container,
+// preserving the replayed stream exactly — ops, virtual-time marks, and
+// shift marks all survive, in either direction.
 //
 // Generator-dumped binary traces carry no virtual-time or shift marks —
 // only a simulation assigns virtual time, so a shift-capable generator's
@@ -33,9 +40,29 @@ func main() {
 	ops := flag.Int64("ops", 10_000, "operations to emit")
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
-	format := flag.String("format", "csv", "output format: csv or bin")
-	out := flag.String("o", "", "output path (default stdout; required for -format bin)")
+	format := flag.String("format", "csv", "output format: csv, bin (v1), or bin2 (columnar v2)")
+	out := flag.String("o", "", "output path (default stdout; required for binary formats)")
+	convert := flag.String("convert", "", "rewrite this trace file into the -format container and exit")
 	flag.Parse()
+
+	if *convert != "" {
+		if *out == "" {
+			fatal(fmt.Errorf("-convert needs -o for the destination"))
+		}
+		version := tracefile.Version2
+		switch *format {
+		case "bin2", "csv": // csv is the flag default; conversion targets v2 unless bin asked
+			version = tracefile.Version2
+		case "bin":
+			version = tracefile.Version
+		default:
+			fatal(fmt.Errorf("-convert writes binary containers: want -format bin or bin2, not %q", *format))
+		}
+		if err := tracefile.Convert(*convert, *out, version); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	scale := experiments.Quick
 	if *scaleFlag == "full" {
@@ -66,15 +93,19 @@ func main() {
 				fatal(err)
 			}
 		}
-	case "bin":
+	case "bin", "bin2":
 		if *out == "" {
-			fatal(fmt.Errorf("-format bin needs -o (binary traces don't go to a terminal)"))
+			fatal(fmt.Errorf("-format %s needs -o (binary traces don't go to a terminal)", *format))
 		}
-		if err := writeBinary(*out, w, *ops, *seed); err != nil {
+		version := tracefile.Version
+		if *format == "bin2" {
+			version = tracefile.Version2
+		}
+		if err := writeBinary(*out, w, *ops, *seed, version); err != nil {
 			fatal(err)
 		}
 	default:
-		fatal(fmt.Errorf("unknown -format %q (want csv or bin)", *format))
+		fatal(fmt.Errorf("unknown -format %q (want csv, bin, or bin2)", *format))
 	}
 }
 
@@ -101,14 +132,28 @@ func writeCSV(dst *os.File, w trace.Source, ops int64, seed uint64) error {
 	return out.Flush()
 }
 
+// traceSink is the writer surface shared by both container versions.
+type traceSink interface {
+	WriteOp([]trace.Access) error
+	Close() error
+}
+
 // writeBinary emits a trace file replayable via "trace:<path>".
-func writeBinary(path string, w trace.Source, ops int64, seed uint64) error {
+func writeBinary(path string, w trace.Source, ops int64, seed uint64, version int) error {
 	meta := tracefile.MetaOf(w, seed)
 	// A generator dump has no virtual clock, so shifts cannot be
 	// timestamped as marks; claiming shift-capability in the header would
 	// misstate the content. Capture a live run to preserve shift marks.
 	meta.Shift = false
-	tw, err := tracefile.Create(path, meta)
+	var (
+		tw  traceSink
+		err error
+	)
+	if version == tracefile.Version2 {
+		tw, err = tracefile.CreateV2(path, meta)
+	} else {
+		tw, err = tracefile.Create(path, meta)
+	}
 	if err != nil {
 		return err
 	}

@@ -283,7 +283,7 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 	ops := e.ops
-	if r, ok := w.(*tracefile.Reader); ok && !e.opsSet {
+	if r, ok := w.(tracefile.Replay); ok && !e.opsSet {
 		// Replay exactly what was recorded unless the caller chose a
 		// length: the 1M-op default would silently wrap a shorter capture
 		// and break the byte-identical reproduction the replay promises.
@@ -305,7 +305,7 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 	if e.recordTo != "" {
 		// Creating the output truncates it, so recording over the very
 		// trace being replayed would destroy the input mid-read.
-		if r, ok := w.(*tracefile.Reader); ok && samePath(r.Path(), e.recordTo) {
+		if r, ok := w.(tracefile.Replay); ok && samePath(r.Path(), e.recordTo) {
 			return nil, fmt.Errorf("hybridtier: WithRecordTo(%q) would overwrite "+
 				"the trace being replayed", e.recordTo)
 		}

@@ -1,0 +1,265 @@
+// Package corpus is the content-addressed trace store behind the
+// experiment service's upload API and the "corpus:<hash>" workload
+// scheme. A trace is addressed by the SHA-256 of its file bytes, so the
+// hash pins the exact access stream: the same name can never silently
+// mean different data, which is what lets a corpus workload participate
+// in the service's content-addressed result cache where a mutable
+// trace:<path> cannot (docs/SERVICE.md).
+//
+// The disk layout mirrors the jobs result cache: one <hash>.htrc holding
+// the trace bytes verbatim, plus a <hash>.meta.json sidecar with the
+// decoded header and counts for listings. Writes are staged in a temp
+// file and renamed into place, so a crashed upload never leaves a
+// half-written trace that a later replay would open.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/tracefile"
+)
+
+// hashPattern is the only accepted trace address: lowercase hex SHA-256.
+// Hashes become file names, so this is also the path-traversal guard.
+var hashPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// ValidHash reports whether s is a well-formed trace content hash.
+func ValidHash(s string) bool { return hashPattern.MatchString(s) }
+
+// Meta describes one stored trace: its address, size, and the decoded
+// header and counts, so listings and submit-time checks never reopen the
+// trace bytes.
+type Meta struct {
+	// Hash is the SHA-256 of the trace file bytes, lowercase hex.
+	Hash string `json:"hash"`
+	// SizeBytes is the stored file size.
+	SizeBytes int64 `json:"size_bytes"`
+	// FormatVersion is the trace container version (1 or 2).
+	FormatVersion int `json:"format_version"`
+	// Workload, NumPages, Seed, and Shift echo the trace header.
+	Workload string `json:"workload"`
+	NumPages int    `json:"num_pages"`
+	Seed     uint64 `json:"seed"`
+	Shift    bool   `json:"shift,omitempty"`
+	// Ops and Accesses are the full-scan counts Stat verified.
+	Ops      int64 `json:"ops"`
+	Accesses int64 `json:"accesses"`
+}
+
+// Store is a content-addressed trace collection rooted at one directory.
+// Stored traces are immutable — same hash, same bytes — so there is no
+// invalidation and no locking around reads of the files themselves; the
+// mutex guards only the in-memory index. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir   string
+	mu    sync.RWMutex
+	index map[string]Meta
+}
+
+// Open opens (creating if needed) the store rooted at dir and indexes the
+// traces already present. A sidecar whose hash does not match its file
+// name, or whose trace file is missing, is skipped with an error — the
+// store stays usable; the damaged entry is just invisible.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("corpus: store dir must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: store dir: %w", err)
+	}
+	s := &Store{dir: dir, index: map[string]Meta{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: scan %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		hash, ok := strings.CutSuffix(name, ".meta.json")
+		if !ok || !ValidHash(hash) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var m Meta
+		if json.Unmarshal(data, &m) != nil || m.Hash != hash {
+			continue
+		}
+		if _, err := os.Stat(s.tracePath(hash)); err != nil {
+			continue
+		}
+		s.index[hash] = m
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of stored traces.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Get returns the metadata stored under hash.
+func (s *Store) Get(hash string) (Meta, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.index[hash]
+	return m, ok
+}
+
+// List returns every stored trace's metadata, sorted by hash.
+func (s *Store) List() []Meta {
+	s.mu.RLock()
+	out := make([]Meta, 0, len(s.index))
+	for _, m := range s.index {
+		out = append(out, m)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out
+}
+
+// Path returns the on-disk trace file for hash, for callers that open the
+// bytes directly (the registry resolver, the bytes endpoint).
+func (s *Store) Path(hash string) (string, error) {
+	if !ValidHash(hash) {
+		return "", fmt.Errorf("corpus: invalid trace hash %q", hash)
+	}
+	s.mu.RLock()
+	_, ok := s.index[hash]
+	s.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("corpus: trace %s not in store", hash)
+	}
+	return s.tracePath(hash), nil
+}
+
+// Put stores the trace read from r, returning its metadata and whether
+// the store grew (false = the trace was already present; content
+// addressing makes re-uploads idempotent). The bytes are staged to a temp
+// file while the hash accumulates, then verified as a complete, non-empty
+// trace (any version Stat reads) before the rename publishes them —
+// corrupt or truncated uploads never enter the index.
+func (s *Store) Put(r io.Reader) (Meta, bool, error) {
+	tmp, err := os.CreateTemp(s.dir, ".upload-*")
+	if err != nil {
+		return Meta{}, false, fmt.Errorf("corpus: stage upload: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	h := sha256.New()
+	size, err := io.Copy(io.MultiWriter(tmp, h), r)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return Meta{}, false, fmt.Errorf("corpus: stage upload: %w", err)
+	}
+	hash := hex.EncodeToString(h.Sum(nil))
+
+	s.mu.RLock()
+	m, dup := s.index[hash]
+	s.mu.RUnlock()
+	if dup {
+		return m, false, nil
+	}
+
+	info, err := tracefile.Stat(tmp.Name())
+	if err != nil {
+		return Meta{}, false, fmt.Errorf("corpus: uploaded bytes are not a trace: %w", err)
+	}
+	if !info.Clean {
+		return Meta{}, false, fmt.Errorf("corpus: uploaded trace is incomplete (aborted or chopped capture)")
+	}
+	if info.Ops == 0 {
+		return Meta{}, false, fmt.Errorf("corpus: uploaded trace has no op records to replay")
+	}
+	m = Meta{
+		Hash:          hash,
+		SizeBytes:     size,
+		FormatVersion: info.Version,
+		Workload:      info.Meta.Name,
+		NumPages:      info.Meta.NumPages,
+		Seed:          info.Meta.Seed,
+		Shift:         info.Meta.Shift,
+		Ops:           info.Ops,
+		Accesses:      info.Accesses,
+	}
+	metaJSON, err := json.Marshal(m)
+	if err != nil {
+		return Meta{}, false, fmt.Errorf("corpus: encode meta: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, dup := s.index[hash]; dup {
+		// A concurrent upload of the same bytes won the rename; ours is
+		// redundant by construction.
+		return prev, false, nil
+	}
+	if err := os.Rename(tmp.Name(), s.tracePath(hash)); err != nil {
+		return Meta{}, false, fmt.Errorf("corpus: publish trace: %w", err)
+	}
+	if err := writeAtomic(s.metaPath(hash), metaJSON); err != nil {
+		os.Remove(s.tracePath(hash))
+		return Meta{}, false, fmt.Errorf("corpus: publish meta: %w", err)
+	}
+	s.index[hash] = m
+	return m, true, nil
+}
+
+// PutFile stores the trace file at path, like Put but reading from disk.
+func (s *Store) PutFile(path string) (Meta, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, false, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	return s.Put(f)
+}
+
+func (s *Store) tracePath(hash string) string {
+	return filepath.Join(s.dir, hash+".htrc")
+}
+
+func (s *Store) metaPath(hash string) string {
+	return filepath.Join(s.dir, hash+".meta.json")
+}
+
+// writeAtomic writes data via a temp file + rename, mirroring the jobs
+// cache: a crash never leaves a half-written sidecar beside a good trace.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".meta-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

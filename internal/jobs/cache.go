@@ -6,7 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 )
 
 // hashPattern is the only accepted cache key shape: lowercase hex
@@ -25,19 +28,21 @@ func ValidHash(s string) bool { return hashPattern.MatchString(s) }
 //   - optionally, an on-disk store (one <hash>.json per result, plus the
 //     canonical spec as <hash>.spec.json for operators) that is written
 //     through on Put and consulted on memory misses, so results survive
-//     restarts and memory eviction.
+//     restarts and memory eviction. SetMaxDiskBytes bounds it, evicting
+//     oldest-written result+sidecar pairs first.
 //
 // Because keys are content hashes of canonical specs and results are
 // deterministic, a stored value is immutable: there is no invalidation,
 // only eviction. Callers must treat returned byte slices as read-only.
 // All methods are safe for concurrent use.
 type Cache struct {
-	mu       sync.Mutex
-	maxBytes int64
-	bytes    int64
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
-	dir      string
+	mu           sync.Mutex
+	maxBytes     int64
+	bytes        int64
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	dir          string
+	maxDiskBytes int64 // 0 = unbounded
 }
 
 // cacheEntry is one resident result.
@@ -115,7 +120,99 @@ func (c *Cache) Put(hash string, result, spec []byte) error {
 	}
 	// The spec sidecar is best-effort metadata: its loss never loses a
 	// result, so its write shares the result's error but not its fate.
-	return writeAtomic(filepath.Join(c.dir, hash+".spec.json"), spec)
+	if err := writeAtomic(filepath.Join(c.dir, hash+".spec.json"), spec); err != nil {
+		return err
+	}
+	c.gcDisk()
+	return nil
+}
+
+// SetMaxDiskBytes bounds the on-disk store to n bytes of results plus
+// sidecars, evicting oldest-written entries first once Put overflows it.
+// Zero (the default) leaves the store unbounded. The newest entry always
+// survives, so a single oversized result still persists and serves.
+func (c *Cache) SetMaxDiskBytes(n int64) {
+	c.mu.Lock()
+	c.maxDiskBytes = n
+	c.mu.Unlock()
+	c.gcDisk()
+}
+
+// diskEntry is one stored result during a GC scan: the hash, the combined
+// size of result and sidecar, and the result's write time.
+type diskEntry struct {
+	hash  string
+	size  int64
+	mtime time.Time
+}
+
+// gcDisk enforces the disk budget. The scan walks the store directory
+// fresh each time rather than tracking a running total: eviction is rare
+// (only on overflow), crash-leftover temp files and hand-deleted results
+// would drift any in-memory ledger, and the directory holds at most a few
+// thousand entries.
+func (c *Cache) gcDisk() {
+	c.mu.Lock()
+	budget := c.maxDiskBytes
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" || budget <= 0 {
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var (
+		results []diskEntry
+		total   int64
+		sidecar = map[string]int64{}
+	)
+	for _, e := range entries {
+		name := e.Name()
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if hash, ok := cutSuffixHash(name, ".spec.json"); ok {
+			sidecar[hash] = info.Size()
+			total += info.Size()
+			continue
+		}
+		if hash, ok := cutSuffixHash(name, ".json"); ok {
+			results = append(results, diskEntry{hash: hash, size: info.Size(), mtime: info.ModTime()})
+			total += info.Size()
+		}
+	}
+	if total <= budget {
+		return
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].mtime.Before(results[j].mtime) })
+	for _, r := range results[:max(len(results)-1, 0)] { // the newest always stays
+		if total <= budget {
+			break
+		}
+		// Remove the result first: once it is gone the entry cannot be
+		// served, so a crash between the two removes leaks only a sidecar,
+		// which the next GC scan still counts and retries.
+		if err := os.Remove(c.resultPath(r.hash)); err != nil {
+			continue
+		}
+		total -= r.size
+		if err := os.Remove(filepath.Join(c.dir, r.hash+".spec.json")); err == nil {
+			total -= sidecar[r.hash]
+		}
+	}
+}
+
+// cutSuffixHash splits "<hash><suffix>" names, rejecting anything whose
+// stem is not a well-formed content hash (temp files, stray drops).
+func cutSuffixHash(name, suffix string) (string, bool) {
+	hash, ok := strings.CutSuffix(name, suffix)
+	if !ok || !ValidHash(hash) {
+		return "", false
+	}
+	return hash, true
 }
 
 // insert adds or refreshes a memory entry and evicts from the cold end

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestCacheLRUEviction(t *testing.T) {
@@ -141,5 +142,101 @@ func TestNewCacheValidation(t *testing.T) {
 	}
 	if _, err := NewCache(1, filepath.Join(file, "sub")); err == nil {
 		t.Error("impossible cache dir accepted")
+	}
+}
+
+// TestCacheDiskGC: the disk budget evicts oldest-written result+sidecar
+// pairs, never the newest entry, and an unbounded cache removes nothing.
+func TestCacheDiskGC(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := bytes.Repeat([]byte("r"), 100)
+	spec := []byte(`{"workload":"zipf"}`)
+	var hashes []string
+	for i := 0; i < 5; i++ {
+		h := hashOf(strings.Repeat("x", i+1))
+		hashes = append(hashes, h)
+		if err := c.Put(h, result, spec); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so oldest-first is well defined even on coarse
+		// filesystem clocks.
+		old := time.Now().Add(time.Duration(i-10) * time.Hour)
+		for _, p := range []string{filepath.Join(dir, h+".json"), filepath.Join(dir, h+".spec.json")} {
+			if err := os.Chtimes(p, old, old); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A stray temp file must neither count toward the budget nor be removed.
+	stray := filepath.Join(dir, ".cache-leftover")
+	if err := os.WriteFile(stray, []byte("tmp"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	onDisk := func() map[string]bool {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]bool{}
+		for _, e := range entries {
+			out[e.Name()] = true
+		}
+		return out
+	}
+	if got := onDisk(); len(got) != 11 { // 5 pairs + stray
+		t.Fatalf("precondition: %d files on disk, want 11", len(got))
+	}
+
+	// Budget for two pairs: the three oldest pairs must go, newest stays.
+	pair := int64(len(result) + len(spec))
+	c.SetMaxDiskBytes(2 * pair)
+	got := onDisk()
+	if !got[stray[len(dir)+1:]] {
+		t.Error("GC removed a non-cache file")
+	}
+	for _, h := range hashes[:3] {
+		if got[h+".json"] || got[h+".spec.json"] {
+			t.Errorf("oldest entry %s survived eviction", h[:12])
+		}
+		if _, ok := c.Get(h); !ok {
+			t.Errorf("evicted-from-disk entry %s lost its memory copy too", h[:12])
+		}
+	}
+	for _, h := range hashes[3:] {
+		if !got[h+".json"] || !got[h+".spec.json"] {
+			t.Errorf("entry %s inside the budget was evicted", h[:12])
+		}
+	}
+
+	// Put enforces the budget as it writes: adding a sixth entry evicts
+	// again, down to the two newest.
+	h6 := hashOf("sixth")
+	if err := c.Put(h6, result, spec); err != nil {
+		t.Fatal(err)
+	}
+	got = onDisk()
+	if !got[h6+".json"] {
+		t.Fatal("freshly put entry evicted itself")
+	}
+	var pairs int
+	for name := range got {
+		if strings.HasSuffix(name, ".json") && !strings.HasSuffix(name, ".spec.json") {
+			pairs++
+		}
+	}
+	if pairs > 2 {
+		t.Fatalf("%d results on disk after Put, budget holds 2", pairs)
+	}
+
+	// An oversized single entry still persists: the newest never goes.
+	c.SetMaxDiskBytes(1)
+	got = onDisk()
+	if !got[h6+".json"] {
+		t.Fatal("the newest entry must survive any budget")
 	}
 }

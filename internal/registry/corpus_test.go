@@ -1,0 +1,115 @@
+package registry
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracefile"
+)
+
+// corpusTestHash is a well-formed (lowercase hex sha256) address.
+var corpusTestHash = strings.Repeat("ab", 32)
+
+func TestCorpusSpecValidation(t *testing.T) {
+	r := NewWorkloadRegistry()
+	r.MustRegister(WorkloadEntry{Name: "wl", Doc: "test", New: func(p WorkloadParams) (trace.Source, error) {
+		return trace.NewZipfSource("wl", 64, 1.0, 0, p.Seed), nil
+	}})
+	ok := []string{
+		"corpus:" + corpusTestHash,
+		"mix:0.5*wl,0.5*corpus:" + corpusTestHash,
+		"repeat:corpus:" + corpusTestHash + "@100",
+	}
+	for _, spec := range ok {
+		if err := r.Validate(spec); err != nil {
+			t.Errorf("Validate(%q) = %v", spec, err)
+		}
+		if _, err := r.Normalize(spec); err != nil {
+			t.Errorf("Normalize(%q) = %v", spec, err)
+		}
+	}
+	bad := []string{
+		"corpus:",
+		"corpus:short",
+		"corpus:" + strings.ToUpper(corpusTestHash),
+		"corpus:" + corpusTestHash[:63] + "x",
+	}
+	for _, spec := range bad {
+		if err := r.Validate(spec); err == nil {
+			t.Errorf("Validate(%q) accepted a malformed hash", spec)
+		}
+	}
+}
+
+func TestCorpusHashes(t *testing.T) {
+	r := NewWorkloadRegistry()
+	h2 := strings.Repeat("cd", 32)
+	spec := fmt.Sprintf("mix:corpus:%s,corpus:%s,corpus:%s", corpusTestHash, h2, corpusTestHash)
+	got, err := r.CorpusHashes(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != corpusTestHash || got[1] != h2 {
+		t.Fatalf("CorpusHashes = %v, want deduped [%s %s]", got, corpusTestHash, h2)
+	}
+	if got, err := r.CorpusHashes("zipf"); err != nil || len(got) != 0 {
+		t.Fatalf("CorpusHashes(zipf) = %v, %v", got, err)
+	}
+}
+
+func TestCorpusNotFlaggedAsTrace(t *testing.T) {
+	r := NewWorkloadRegistry()
+	has, err := r.HasTraceWorkload("corpus:" + corpusTestHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if has {
+		t.Fatal("corpus workload flagged as a trace path; it would be barred from the result cache")
+	}
+	has, err = r.HasTraceWorkload("trace:/tmp/x.htrc")
+	if err != nil || !has {
+		t.Fatalf("trace path not flagged: %v, %v", has, err)
+	}
+}
+
+func TestCorpusResolution(t *testing.T) {
+	// Without a resolver, corpus workloads fail with a pointed error.
+	SetCorpusResolver(nil)
+	r := NewWorkloadRegistry()
+	if _, err := r.New("corpus:"+corpusTestHash, WorkloadParams{Seed: 1}); err == nil ||
+		!strings.Contains(err.Error(), "no corpus store") {
+		t.Fatalf("resolver-less build: %v", err)
+	}
+
+	// With one installed, the hash opens the file the resolver names.
+	path := filepath.Join(t.TempDir(), "c.htrc")
+	w, err := tracefile.Create(path, tracefile.Meta{Name: "c", NumPages: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteOp([]trace.Access{{Page: 9}})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	SetCorpusResolver(func(hash string) (string, error) {
+		if hash != corpusTestHash {
+			return "", fmt.Errorf("trace %s not in store", hash)
+		}
+		return path, nil
+	})
+	defer SetCorpusResolver(nil)
+	src, err := r.New("corpus:"+corpusTestHash, WorkloadParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.(*tracefile.Reader).Close()
+	if op := src.NextOp(nil); len(op) != 1 || op[0].Page != 9 {
+		t.Fatalf("corpus replay op = %v", op)
+	}
+	if _, err := r.New("corpus:"+strings.Repeat("ee", 32), WorkloadParams{Seed: 1}); err == nil {
+		t.Fatal("unknown hash resolved")
+	}
+}

@@ -200,7 +200,7 @@ func parseAtom(s string, depth int) (specNode, error) {
 	// '*' (counts bind to the RIGHTMOST top-level separator so such paths
 	// still parse), though commas and parentheses in a path are split
 	// before the atom is seen and cannot be escaped.
-	if strings.HasPrefix(s, TraceScheme) {
+	if strings.HasPrefix(s, TraceScheme) || strings.HasPrefix(s, CorpusScheme) {
 		return leafNode{name: s}, nil
 	}
 	if isCompositeSpec(s) {
@@ -353,6 +353,14 @@ func (r *WorkloadRegistry) validateNode(n specNode) error {
 			if path == "" {
 				return fmt.Errorf("%q needs a path after the scheme", n.name)
 			}
+			return nil
+		}
+		if hash, ok := strings.CutPrefix(n.name, CorpusScheme); ok {
+			if !isCorpusHash(hash) {
+				return fmt.Errorf("%q needs a lowercase hex sha256 after the scheme", n.name)
+			}
+			// Shape only: whether the hash is actually in a store is a
+			// build-time question (the resolver may live in another process).
 			return nil
 		}
 		if _, ok := r.Lookup(n.name); !ok {

@@ -89,7 +89,50 @@ func (r *WorkloadRegistry) HasTraceWorkload(name string) (bool, error) {
 	return nodeHasTrace(node), nil
 }
 
-// nodeHasTrace walks a parsed spec for trace: leaves.
+// CorpusHashes returns every corpus:<hash> referenced by name (after
+// parsing the composition grammar), deduplicated in first-appearance
+// order. The experiment service checks each against its store at submit
+// time, so an unknown hash is a 400 instead of a cell-by-cell build
+// failure mid-sweep. Parse errors are reported like Validate's.
+func (r *WorkloadRegistry) CorpusHashes(name string) ([]string, error) {
+	node, err := parseSpec(name, 0)
+	if err != nil {
+		return nil, fmt.Errorf("registry: workload %q: %w", name, err)
+	}
+	var out []string
+	seen := map[string]bool{}
+	collectCorpus(node, seen, &out)
+	return out, nil
+}
+
+// collectCorpus walks a parsed spec for corpus: leaves.
+func collectCorpus(n specNode, seen map[string]bool, out *[]string) {
+	switch n := n.(type) {
+	case leafNode:
+		if hash, ok := strings.CutPrefix(n.name, CorpusScheme); ok && !seen[hash] {
+			seen[hash] = true
+			*out = append(*out, hash)
+		}
+	case mixNode:
+		for _, c := range n.parts {
+			collectCorpus(c, seen, out)
+		}
+	case phasesNode:
+		for _, c := range n.stages {
+			collectCorpus(c, seen, out)
+		}
+	case repeatNode:
+		collectCorpus(n.child, seen, out)
+	case offsetNode:
+		collectCorpus(n.child, seen, out)
+	case scaleNode:
+		collectCorpus(n.child, seen, out)
+	}
+}
+
+// nodeHasTrace walks a parsed spec for trace: leaves. corpus: leaves are
+// deliberately NOT flagged: a content hash names its bytes, so the staleness
+// hazard that bars trace paths from the result cache does not exist.
 func nodeHasTrace(n specNode) bool {
 	switch n := n.(type) {
 	case leafNode:

@@ -6,11 +6,13 @@
 // resolve names through one authoritative table instead of hand-maintained
 // switch statements.
 //
-// Besides registered names, workload resolution understands two extra
+// Besides registered names, workload resolution understands three extra
 // forms. "trace:<path>" opens a recorded trace file (internal/tracefile)
 // as the workload, so captured or externally produced access streams run
-// everywhere a workload name is accepted — experiments, sweeps, CLIs. And
-// the composition grammar (grammar.go, docs/COMPOSITION.md) builds
+// everywhere a workload name is accepted — experiments, sweeps, CLIs.
+// "corpus:<sha256>" opens a trace out of a content-addressed corpus
+// (internal/corpus) through a process-installed resolver, naming the
+// trace's bytes rather than a mutable path. And the composition grammar (grammar.go, docs/COMPOSITION.md) builds
 // multi-tenant scenarios out of the registered generators with the
 // combinators in internal/trace: "mix:0.7*cdn,0.3*silo" interleaves two
 // tenants on disjoint page ranges, "phases:cdn@1000000,silo" switches
@@ -200,15 +202,77 @@ func (r *WorkloadRegistry) Lookup(name string) (WorkloadEntry, bool) {
 // files instead of registered generators: "trace:/path/to/run.htrc".
 const TraceScheme = "trace:"
 
+// CorpusScheme prefixes workload names that resolve through a
+// content-addressed trace corpus (internal/corpus): "corpus:<sha256>".
+// Unlike trace:<path>, the hash names the trace BYTES, not a mutable
+// file, so corpus workloads are sound inputs for content-addressed
+// result caching and the experiment service accepts them where it
+// rejects trace paths.
+const CorpusScheme = "corpus:"
+
+// corpusHashLen is the length of a corpus address: lowercase hex SHA-256.
+const corpusHashLen = 64
+
+// isCorpusHash reports whether s is a well-formed corpus trace address.
+// Kept inline (rather than importing internal/corpus) so the registry
+// stays a leaf package.
+func isCorpusHash(s string) bool {
+	if len(s) != corpusHashLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// corpusResolver maps a corpus hash to a local trace file path. It is
+// process-global, like the registries themselves: the daemon installs its
+// store's lookup at startup, and every resolution path (experiments,
+// sweeps, composed specs) reaches it through the same table.
+var (
+	corpusMu      sync.RWMutex
+	corpusResolve func(hash string) (string, error)
+)
+
+// SetCorpusResolver installs fn as the process-wide corpus: resolver.
+// Passing nil uninstalls it, after which corpus workloads fail to build
+// with a descriptive error.
+func SetCorpusResolver(fn func(hash string) (string, error)) {
+	corpusMu.Lock()
+	corpusResolve = fn
+	corpusMu.Unlock()
+}
+
+// ResolveCorpus maps a corpus hash to the trace file path backing it,
+// through the installed resolver.
+func ResolveCorpus(hash string) (string, error) {
+	if !isCorpusHash(hash) {
+		return "", fmt.Errorf("registry: corpus hash %q is not a lowercase hex sha256", hash)
+	}
+	corpusMu.RLock()
+	fn := corpusResolve
+	corpusMu.RUnlock()
+	if fn == nil {
+		return "", fmt.Errorf("registry: no corpus store in this process (corpus: workloads resolve inside the daemon; use trace:<path> locally)")
+	}
+	return fn(hash)
+}
+
 // New constructs the named workload. Composition specs (grammar.go —
 // "mix:", "phases:", "repeat:", "offset:", "scale:", or a parenthesized
 // spec) are parsed and built recursively, with every tenant seeded from a
 // splitmix64 derivation of p.Seed so same-generator tenants draw distinct
 // streams. Names starting with TraceScheme open the trace file after the
 // prefix (WorkloadParams do not apply: the trace header fixes the page
-// space and the recorded stream is literal). Other names resolve through
-// the registered entries, with an error naming the known workloads when
-// the name is not registered.
+// space and the recorded stream is literal); names starting with
+// CorpusScheme do the same after mapping the content hash to a stored
+// trace through the installed resolver (SetCorpusResolver). Other names
+// resolve through the registered entries, with an error naming the known
+// workloads when the name is not registered.
 func (r *WorkloadRegistry) New(name string, p WorkloadParams) (trace.Source, error) {
 	if isCompositeSpec(name) {
 		return r.newComposite(name, p)
@@ -216,6 +280,17 @@ func (r *WorkloadRegistry) New(name string, p WorkloadParams) (trace.Source, err
 	if path, ok := strings.CutPrefix(name, TraceScheme); ok {
 		if path == "" {
 			return nil, fmt.Errorf("registry: %q needs a path after the scheme", name)
+		}
+		src, err := tracefile.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("registry: workload %q: %w", name, err)
+		}
+		return src, nil
+	}
+	if hash, ok := strings.CutPrefix(name, CorpusScheme); ok {
+		path, err := ResolveCorpus(hash)
+		if err != nil {
+			return nil, fmt.Errorf("registry: workload %q: %w", name, err)
 		}
 		src, err := tracefile.Open(path)
 		if err != nil {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	hybridtier "repro"
+	"repro/internal/corpus"
 	"repro/internal/jobs"
 	"repro/internal/registry"
 )
@@ -40,9 +41,20 @@ const Version = "htiersimd/1"
 type Config struct {
 	// Manager schedules and caches jobs (required).
 	Manager *jobs.Manager
+	// Corpus is the content-addressed trace store behind /traces and the
+	// corpus:<hash> workload scheme. Nil disables the trace API (503) and
+	// makes corpus specs unsubmittable.
+	Corpus *corpus.Store
+	// MaxTraceBytes bounds one trace upload (0 = defaultMaxTraceBytes).
+	MaxTraceBytes int64
 	// Log receives one line per request outcome; nil silences.
 	Log *log.Logger
 }
+
+// defaultMaxTraceBytes bounds trace uploads when Config leaves the knob
+// zero: large enough for hundred-million-op captures, small enough that
+// one stray upload cannot fill a disk.
+const defaultMaxTraceBytes = 1 << 30
 
 // Runner returns the jobs.Runner that executes canonical sweep specs:
 // unmarshal, rebuild the Sweep, run it with sweepWorkers concurrent
@@ -71,8 +83,10 @@ func Runner(sweepWorkers int) jobs.Runner {
 
 // handler carries the mux plus its dependencies.
 type handler struct {
-	m   *jobs.Manager
-	log *log.Logger
+	m        *jobs.Manager
+	corpus   *corpus.Store
+	maxTrace int64
+	log      *log.Logger
 }
 
 // NewHandler builds the daemon's http.Handler. Routes:
@@ -85,8 +99,16 @@ type handler struct {
 //	DELETE /jobs/{id}        request cancellation
 //	GET    /jobs/{id}/events stream progress (NDJSON; SSE on Accept: text/event-stream)
 //	GET    /results/{hash}   canonical sweep JSON by content hash
+//	POST   /traces           upload a trace into the corpus; returns its content hash
+//	GET    /traces           list stored traces
+//	GET    /traces/{hash}        one trace's metadata
+//	GET    /traces/{hash}/bytes  the stored trace bytes, verbatim
 func NewHandler(cfg Config) http.Handler {
-	h := &handler{m: cfg.Manager, log: cfg.Log}
+	maxTrace := cfg.MaxTraceBytes
+	if maxTrace <= 0 {
+		maxTrace = defaultMaxTraceBytes
+	}
+	h := &handler{m: cfg.Manager, corpus: cfg.Corpus, maxTrace: maxTrace, log: cfg.Log}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /workloads", h.workloads)
@@ -96,6 +118,10 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", h.cancel)
 	mux.HandleFunc("GET /jobs/{id}/events", h.events)
 	mux.HandleFunc("GET /results/{hash}", h.result)
+	mux.HandleFunc("POST /traces", h.uploadTrace)
+	mux.HandleFunc("GET /traces", h.listTraces)
+	mux.HandleFunc("GET /traces/{hash}", h.trace)
+	mux.HandleFunc("GET /traces/{hash}/bytes", h.traceBytes)
 	return mux
 }
 
@@ -124,11 +150,15 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	for _, info := range h.m.Jobs() {
 		states[info.State]++
 	}
-	h.reply(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":  "ok",
 		"version": Version,
 		"jobs":    states,
-	})
+	}
+	if h.corpus != nil {
+		body["traces"] = h.corpus.Len()
+	}
+	h.reply(w, http.StatusOK, body)
 }
 
 // workloadInfo is one /workloads row.
@@ -177,6 +207,21 @@ func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		h.error(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	// corpus:<hash> workloads are content-addressed, so they cache soundly —
+	// but only if the hashes exist HERE. Checked at submit so an unknown
+	// hash is an immediate 400 naming it, not a mid-sweep build failure.
+	if hashes, herr := registry.Workloads.CorpusHashes(spec.Workload); herr == nil && len(hashes) > 0 {
+		if h.corpus == nil {
+			h.error(w, http.StatusBadRequest, "this daemon has no trace corpus; corpus: workloads cannot run here")
+			return
+		}
+		for _, th := range hashes {
+			if _, ok := h.corpus.Get(th); !ok {
+				h.error(w, http.StatusBadRequest, "corpus trace "+th+" is not in this daemon's store; upload it via POST /traces first")
+				return
+			}
+		}
 	}
 	hash := hybridtier.HashCanonicalJSON(canonical)
 	job, created, err := h.m.Submit(hash, canonical)
@@ -328,6 +373,110 @@ func (h *handler) result(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
+}
+
+// needCorpus guards the /traces routes: without a store they answer 503,
+// the same "not offered here" signal a draining daemon gives.
+func (h *handler) needCorpus(w http.ResponseWriter) bool {
+	if h.corpus == nil {
+		h.error(w, http.StatusServiceUnavailable, "this daemon has no trace corpus (start htiersimd with -corpus-dir)")
+		return false
+	}
+	return true
+}
+
+// traceResponse is one trace's metadata plus the workload spelling a
+// client submits to run it — returned by upload, listing, and lookup so
+// clients never assemble the scheme by hand.
+type traceResponse struct {
+	corpus.Meta
+	WorkloadSpec string `json:"workload_spec"`
+}
+
+func traceResp(m corpus.Meta) traceResponse {
+	return traceResponse{Meta: m, WorkloadSpec: registry.CorpusScheme + m.Hash}
+}
+
+// uploadTrace ingests a trace stream (chunked uploads welcome: the body
+// is hashed as it spools). The trace is verified complete before it is
+// published; 201 = new, 200 = the corpus already held these exact bytes.
+func (h *handler) uploadTrace(w http.ResponseWriter, r *http.Request) {
+	if !h.needCorpus(w) {
+		return
+	}
+	m, created, err := h.corpus.Put(http.MaxBytesReader(w, r.Body, h.maxTrace))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			h.error(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("trace exceeds the %d-byte upload limit", h.maxTrace))
+			return
+		}
+		h.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	h.logf("trace upload hash=%s created=%v bytes=%d ops=%d", m.Hash[:12], created, m.SizeBytes, m.Ops)
+	h.reply(w, code, traceResp(m))
+}
+
+func (h *handler) listTraces(w http.ResponseWriter, r *http.Request) {
+	if !h.needCorpus(w) {
+		return
+	}
+	list := h.corpus.List()
+	out := make([]traceResponse, len(list))
+	for i, m := range list {
+		out[i] = traceResp(m)
+	}
+	h.reply(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
+	if !h.needCorpus(w) {
+		return
+	}
+	hash := r.PathValue("hash")
+	if !corpus.ValidHash(hash) {
+		h.error(w, http.StatusBadRequest, "malformed trace hash: want 64 lowercase hex digits")
+		return
+	}
+	m, ok := h.corpus.Get(hash)
+	if !ok {
+		h.error(w, http.StatusNotFound, "no trace for hash "+hash)
+		return
+	}
+	h.reply(w, http.StatusOK, traceResp(m))
+}
+
+// traceBytes serves the stored trace verbatim. Like /results, the content
+// IS the address, so the response is immutable and strongly tagged.
+func (h *handler) traceBytes(w http.ResponseWriter, r *http.Request) {
+	if !h.needCorpus(w) {
+		return
+	}
+	hash := r.PathValue("hash")
+	if !corpus.ValidHash(hash) {
+		h.error(w, http.StatusBadRequest, "malformed trace hash: want 64 lowercase hex digits")
+		return
+	}
+	path, err := h.corpus.Path(hash)
+	if err != nil {
+		h.error(w, http.StatusNotFound, "no trace for hash "+hash)
+		return
+	}
+	etag := `"` + hash + `"`
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	http.ServeFile(w, r, path)
 }
 
 // Drain performs the daemon's graceful shutdown of job execution,

@@ -223,7 +223,9 @@ func (r *ReplaySource) NextBatch(dst []Access, max int) []Access {
 // PackedViewSource is an optional refinement of BatchSource for sources
 // that store their stream packed (UnpackAccess's encoding): NextPackedView
 // returns up to max whole operations as a read-only slice of internal
-// storage, valid until the next call and never empty for max > 0.
+// storage, valid until the next call. For max > 0 an empty view means the
+// source is exhausted or has permanently failed (a file-backed reader's
+// latched Err), mirroring NextOp's empty-slice convention.
 // Consumers that only iterate a batch (the simulator) prefer it over
 // NextBatch: no copy, no decode materialization, and a quarter of the
 // memory traffic of an []Access batch.

@@ -39,7 +39,7 @@ func benchTracePath(b *testing.B, ops int) string {
 // over a wrapped (infinite) reader, in ops per benchmark iteration.
 func BenchmarkTraceReplayBatch(b *testing.B) {
 	path := benchTracePath(b, 1<<14)
-	r, err := Open(path)
+	r, err := openV1(path)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -75,4 +75,102 @@ func BenchmarkTraceReplayOp(b *testing.B) {
 			b.Fatal("empty op", r.Err())
 		}
 	}
+}
+
+// benchTracePathV2 converts the v1 bench trace into the columnar container.
+func benchTracePathV2(b *testing.B, ops int) string {
+	b.Helper()
+	v1 := benchTracePath(b, ops)
+	v2 := filepath.Join(b.TempDir(), "bench.v2.htrc")
+	if err := Convert(v1, v2, Version2); err != nil {
+		b.Fatal(err)
+	}
+	return v2
+}
+
+// BenchmarkTraceReplayV2 pits the columnar reader against the v1
+// streaming numbers above: batched decode, the zero-copy packed view,
+// and seek cost (the operation v1 can only emulate by decoding and
+// discarding the prefix).
+func BenchmarkTraceReplayV2(b *testing.B) {
+	const ops = 1 << 14
+
+	b.Run("batch", func(b *testing.B) {
+		r, err := OpenV2(benchTracePathV2(b, ops))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		buf := make([]trace.Access, 0, 4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; done += 512 {
+			buf = r.NextBatch(buf[:0], 512)
+			if len(buf) == 0 {
+				b.Fatal("empty batch", r.Err())
+			}
+		}
+		if r.Err() != nil {
+			b.Fatal(r.Err())
+		}
+	})
+
+	b.Run("packed", func(b *testing.B) {
+		r, err := OpenV2(benchTracePathV2(b, ops))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			view := r.NextPackedView(512)
+			if len(view) == 0 {
+				b.Fatal("empty view", r.Err())
+			}
+			done += len(view)
+		}
+		if r.Err() != nil {
+			b.Fatal(r.Err())
+		}
+	})
+
+	b.Run("seek", func(b *testing.B) {
+		r, err := OpenV2(benchTracePathV2(b, ops))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		total := r.Ops()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Stride through the trace so successive seeks land in
+			// different blocks rather than rewarming one page.
+			if err := r.SeekOp(int64(i*4099) % total); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The v1 equivalent of a seek: decode and throw away the prefix.
+	b.Run("seek-v1-discard", func(b *testing.B) {
+		path := benchTracePath(b, ops)
+		var buf []trace.Access
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			target := int64(i*4099) % int64(ops)
+			for k := int64(0); k < target; k++ {
+				if buf = r.NextOp(buf[:0]); len(buf) == 0 {
+					b.Fatal("trace ended early", r.Err())
+				}
+			}
+			r.Close()
+		}
+	})
 }

@@ -1,0 +1,115 @@
+package tracefile
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// traceWriter is the write surface shared by both format versions.
+type traceWriter interface {
+	WriteOp(accs []trace.Access) error
+	MarkTime(now int64) error
+	MarkShift(now int64) error
+	Close() error
+	Abort() error
+}
+
+// replayClock exposes the internal replay-clock state of either reader,
+// so Convert can observe mark application between ops.
+func replayClock(r Replay) (lastTime int64, sawTime bool, shiftAt int64) {
+	switch r := r.(type) {
+	case *Reader:
+		return r.lastTime, r.sawTime, r.shiftAt
+	case *ReaderV2:
+		return r.lastTime, r.sawTime, r.shiftAt
+	}
+	return 0, false, -1
+}
+
+// Convert re-encodes the trace at src into format version (Version or
+// Version2) at dst, preserving the header and the replayed stream exactly:
+// a replay of the converted file produces byte-identical results to a
+// replay of the original. Marks are preserved by their replay effect — the
+// clock and shift state before each op — so runs of redundant marks
+// between two ops collapse into one; only Stat's mark counts can differ,
+// never what a simulation observes. Converting to v1 selects gzip framing
+// from a ".gz" suffix like Create; converting to v2 rejects it.
+func Convert(src, dst string, version int) error {
+	if src == dst {
+		return fmt.Errorf("tracefile: converting %s onto itself", src)
+	}
+	r, err := Open(src)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	r.(interface{ disableWrap() }).disableWrap()
+
+	var w traceWriter
+	switch version {
+	case Version:
+		w, err = Create(dst, r.Header())
+	case Version2:
+		w, err = CreateV2(dst, r.Header())
+	default:
+		err = fmt.Errorf("tracefile: unknown target version %d (know %d and %d)",
+			version, Version, Version2)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Emit the marks the reader consumed since the last op: at most one
+	// time mark and one shift mark per boundary, carrying the final values
+	// — which is all replay keeps of a mark run.
+	prevLast, prevSaw, prevShift := int64(0), false, int64(-1)
+	emitMarks := func() error {
+		lt, saw, st := replayClock(r)
+		if saw && (!prevSaw || lt != prevLast) {
+			if err := w.MarkTime(lt); err != nil {
+				return err
+			}
+		}
+		prevLast, prevSaw = lt, saw
+		if st != prevShift {
+			if err := w.MarkShift(st); err != nil {
+				return err
+			}
+			prevShift = st
+		}
+		return nil
+	}
+
+	abort := func(err error) error {
+		w.Abort()
+		os.Remove(dst)
+		return err
+	}
+	var buf []trace.Access
+	for {
+		buf = r.NextOp(buf[:0])
+		if len(buf) == 0 {
+			break
+		}
+		if err := emitMarks(); err != nil {
+			return abort(err)
+		}
+		if err := w.WriteOp(buf); err != nil {
+			return abort(err)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return abort(fmt.Errorf("tracefile: converting %s: %w", src, err))
+	}
+	// Marks trailing the final op were consumed by the end-of-stream scan.
+	if err := emitMarks(); err != nil {
+		return abort(err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(dst)
+		return err
+	}
+	return nil
+}

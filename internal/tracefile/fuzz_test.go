@@ -44,7 +44,7 @@ func readAll(t *testing.T, path string) ([][]trace.Access, error) {
 		return nil, err
 	}
 	defer r.Close()
-	r.wrap = false
+	r.(interface{ disableWrap() }).disableWrap()
 	var ops [][]trace.Access
 	for {
 		op := r.NextOp(nil)

@@ -54,14 +54,19 @@ type Reader struct {
 	err   error
 }
 
-// Open parses path's header and positions the reader at the first record.
-func Open(path string) (*Reader, error) {
+// openV1 parses path's header and positions the reader at the first
+// record. The exported entry point is Open (tracefile.go), which
+// dispatches on the version byte.
+func openV1(path string) (*Reader, error) {
 	r := &Reader{path: path, shiftAt: -1, wrap: true}
 	if err := r.open(); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
+
+// disableWrap switches the reader to one-pass mode (Stat, Convert).
+func (r *Reader) disableWrap() { r.wrap = false }
 
 // open (re)opens the file and parses the header into r.
 func (r *Reader) open() error {

@@ -9,15 +9,23 @@
 // through Open).
 //
 // The format is magic "HTRC" + one version byte + one flags byte, a varint
-// header carrying the workload name, page-space size, and seed, then a body
-// (optionally gzip-framed) of varint-delta-encoded op records interleaved
-// with virtual-time marks, distribution-shift marks, and a terminating end
-// record whose op/access counts detect truncation.
+// header carrying the workload name, page-space size, and seed, then a
+// version-specific body. Version 1 bodies are streams (optionally
+// gzip-framed) of varint-delta-encoded op records interleaved with
+// virtual-time marks, distribution-shift marks, and a terminating end
+// record whose op/access counts detect truncation. Version 2 bodies are
+// blocked and columnar — per-block mark sections followed by fixed-width
+// packed access words, with a block index footer — so a reader can seek to
+// any op offset (ReaderV2.SeekOp) and serve zero-copy packed batch views
+// without materializing the trace. Open and Stat dispatch on the version
+// byte; both versions replay identically.
 package tracefile
 
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/trace"
 )
@@ -25,8 +33,9 @@ import (
 // Magic opens every trace file, before the version byte.
 const Magic = "HTRC"
 
-// Version is the format generation this package reads and writes. Readers
-// must reject other versions: any incompatible change bumps it.
+// Version is the original streamed format generation; Version2 (v2.go) is
+// the blocked, seekable generation. Readers must reject versions they do
+// not know: any incompatible change bumps the version byte.
 const Version = 1
 
 // Header flag bits.
@@ -74,13 +83,87 @@ type Meta struct {
 	Shift bool
 }
 
+// Replay is the read side of a trace file, any format version: a workload
+// source plus the replay-specific surface (header access, wrap counting,
+// latched errors). Open returns one; version-specific capabilities —
+// ReaderV2's SeekOp and zero-copy packed views — are reached by type
+// assertion.
+type Replay interface {
+	trace.Source
+	// ShiftTime reports the stream's shift marks (trace.ShiftSource).
+	ShiftTime() int64
+	// Header returns the trace's header fields.
+	Header() Meta
+	// Path returns the file being replayed.
+	Path() string
+	// Loops reports how many times the replay wrapped around.
+	Loops() int
+	// Err returns the first failure latched by the replay.
+	Err() error
+	// Close releases the underlying file.
+	Close() error
+}
+
+// Both readers implement the full replay surface.
+var (
+	_ Replay            = (*Reader)(nil)
+	_ trace.BatchSource = (*Reader)(nil)
+	_ Replay            = (*ReaderV2)(nil)
+	_ trace.BatchSource = (*ReaderV2)(nil)
+)
+
+// Open sniffs path's version byte and opens it with the matching reader:
+// a v1 *Reader or a v2 *ReaderV2, both presented as Replay. Unknown
+// versions are an error — decoding a future format would produce garbage,
+// not ops.
+func Open(path string) (Replay, error) {
+	v, err := sniffVersion(path)
+	if err != nil {
+		return nil, err
+	}
+	switch v {
+	case Version:
+		r, err := openV1(path)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	case Version2:
+		r, err := OpenV2(path)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	default:
+		return nil, fmt.Errorf("tracefile: unsupported version %d (this build reads versions %d and %d)",
+			v, Version, Version2)
+	}
+}
+
+// sniffVersion reads just the magic and version byte.
+func sniffVersion(path string) (byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	head := make([]byte, len(Magic)+1)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return 0, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(head[:len(Magic)]) != Magic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, head[:len(Magic)])
+	}
+	return head[len(Magic)], nil
+}
+
 // MetaOf derives a header from a live source and the seed it was built
 // with. Re-recording a replay copies the original capture's header
-// verbatim — a Reader's seed is the original instance's, and it
+// verbatim — a replay's seed is the original instance's, and it
 // implements ShiftSource for every trace, so deriving the fields from the
 // interface would stamp wrong provenance.
 func MetaOf(src trace.Source, seed uint64) Meta {
-	if r, ok := src.(*Reader); ok {
+	if r, ok := src.(interface{ Header() Meta }); ok {
 		return r.Header()
 	}
 	_, shift := src.(trace.ShiftSource)
@@ -108,7 +191,9 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 // replay default-op-count logic use it.
 type Info struct {
 	Meta
-	// Compressed reports gzip body framing.
+	// Version is the file's format generation (Version or Version2).
+	Version int
+	// Compressed reports gzip body framing (v1 only; v2 never compresses).
 	Compressed bool
 	// Ops and Accesses count the recorded stream.
 	Ops      int64
@@ -123,17 +208,35 @@ type Info struct {
 	Clean bool
 }
 
-// Stat scans path end to end and summarizes it. Unlike Open's replay mode
-// it never wraps around; a truncated or corrupt body yields Clean == false,
-// the counts seen so far, and the decode error.
+// Stat scans path end to end and summarizes it, dispatching on the
+// version byte like Open. Unlike Open's replay mode it never wraps
+// around; a truncated or corrupt body yields Clean == false, the counts
+// seen so far, and the decode error.
 func Stat(path string) (Info, error) {
-	r, err := Open(path)
+	v, err := sniffVersion(path)
+	if err != nil {
+		return Info{}, err
+	}
+	switch v {
+	case Version:
+		return statV1(path)
+	case Version2:
+		return statV2(path)
+	default:
+		return Info{}, fmt.Errorf("tracefile: unsupported version %d (this build reads versions %d and %d)",
+			v, Version, Version2)
+	}
+}
+
+// statV1 is Stat's v1 pass: a full decode with wrap-around disabled.
+func statV1(path string) (Info, error) {
+	r, err := openV1(path)
 	if err != nil {
 		return Info{}, err
 	}
 	defer r.Close()
 	r.wrap = false
-	info := Info{Meta: r.Header(), Compressed: r.compressed, ShiftNs: -1, EndNs: -1}
+	info := Info{Meta: r.Header(), Version: Version, Compressed: r.compressed, ShiftNs: -1, EndNs: -1}
 	var buf []trace.Access
 	for {
 		// Empty ops are unrepresentable, so an empty result means the end

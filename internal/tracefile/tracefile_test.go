@@ -59,7 +59,7 @@ func writeTrace(t *testing.T, name string, meta Meta, ops [][]trace.Access) stri
 }
 
 // readOps replays numOps ops from path.
-func readOps(t *testing.T, path string, numOps int) ([][]trace.Access, *Reader) {
+func readOps(t *testing.T, path string, numOps int) ([][]trace.Access, Replay) {
 	t.Helper()
 	r, err := Open(path)
 	if err != nil {
@@ -93,7 +93,7 @@ func TestRoundTrip(t *testing.T) {
 			if h := r.Header(); h != meta {
 				t.Fatalf("seed %d %s: header %+v, want %+v", seed, name, h, meta)
 			}
-			if gz := r.compressed; gz != (name == "t.htrc.gz") {
+			if gz := r.(*Reader).compressed; gz != (name == "t.htrc.gz") {
 				t.Fatalf("seed %d %s: compressed=%v", seed, name, gz)
 			}
 		}
@@ -264,6 +264,7 @@ func TestStat(t *testing.T) {
 	}
 	want := Info{
 		Meta:       Meta{Name: "stat", NumPages: 256, Seed: 9, Shift: true},
+		Version:    Version,
 		Compressed: true,
 		Ops:        40,
 		Accesses:   accesses,
@@ -568,7 +569,7 @@ func TestShiftOnFinalTick(t *testing.T) {
 	}
 }
 
-func mustOpen(t *testing.T, path string) *Reader {
+func mustOpen(t *testing.T, path string) Replay {
 	t.Helper()
 	r, err := Open(path)
 	if err != nil {

@@ -1,0 +1,435 @@
+package tracefile
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// writeV2 writes ops into a v2 trace at path, forcing small blocks so
+// multi-block paths are exercised even by small tests.
+func writeV2(t *testing.T, name string, meta Meta, ops [][]trace.Access, blockOps int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	w, err := CreateV2(path, meta)
+	if err != nil {
+		t.Fatalf("CreateV2: %v", err)
+	}
+	if blockOps > 0 {
+		w.blockOps = blockOps
+	}
+	for _, op := range ops {
+		if err := w.WriteOp(op); err != nil {
+			t.Fatalf("WriteOp: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path
+}
+
+// TestV2RoundTrip: the writer→reader equality check across block
+// boundaries, through the version-dispatching Open.
+func TestV2RoundTrip(t *testing.T) {
+	for _, blockOps := range []int{1, 3, 0 /* default */} {
+		ops := randomOps(11, 100, 1<<12)
+		meta := Meta{Name: "v2rt", NumPages: 1 << 12, Seed: 11}
+		path := writeV2(t, "rt.htrc", meta, ops, blockOps)
+		got, r := readOps(t, path, len(ops))
+		if err := r.Err(); err != nil {
+			t.Fatalf("blockOps %d: reader error: %v", blockOps, err)
+		}
+		if _, ok := r.(*ReaderV2); !ok {
+			t.Fatalf("Open returned %T for a v2 file", r)
+		}
+		if !reflect.DeepEqual(got, ops) {
+			t.Fatalf("blockOps %d: replayed stream differs", blockOps)
+		}
+		if h := r.Header(); h != meta {
+			t.Fatalf("blockOps %d: header %+v, want %+v", blockOps, h, meta)
+		}
+		info, err := Stat(path)
+		if err != nil || !info.Clean || info.Version != Version2 || info.Ops != int64(len(ops)) {
+			t.Fatalf("blockOps %d: Stat = %+v, %v", blockOps, info, err)
+		}
+	}
+}
+
+// TestV2WrapAround: v2 replay is infinite like v1, wrapping to op 0.
+func TestV2WrapAround(t *testing.T) {
+	ops := randomOps(12, 10, 1024)
+	path := writeV2(t, "wrap.htrc", Meta{Name: "w", NumPages: 1024}, ops, 4)
+	got, r := readOps(t, path, 25)
+	if err := r.Err(); err != nil {
+		t.Fatalf("reader error: %v", err)
+	}
+	if r.Loops() != 2 {
+		t.Fatalf("Loops() = %d, want 2", r.Loops())
+	}
+	for i, op := range got {
+		if want := ops[i%10]; !reflect.DeepEqual(op, want) {
+			t.Fatalf("op %d: got %v, want %v", i, op, want)
+		}
+	}
+}
+
+// TestV2ZeroOpTrace: inspectable, but latches an error as a workload.
+func TestV2ZeroOpTrace(t *testing.T) {
+	path := writeV2(t, "zero.htrc", Meta{Name: "z", NumPages: 8}, nil, 0)
+	info, err := Stat(path)
+	if err != nil || !info.Clean || info.Ops != 0 {
+		t.Fatalf("Stat = %+v, %v; want clean zero-op info", info, err)
+	}
+	r := mustOpen(t, path)
+	if op := r.NextOp(nil); len(op) != 0 {
+		t.Fatalf("NextOp on empty trace returned %v", op)
+	}
+	if r.Err() == nil {
+		t.Fatal("NextOp on a zero-op trace left Err nil")
+	}
+}
+
+// TestV2Batches: NextBatch and NextPackedView must deliver the same stream
+// NextOp does, with op boundaries carried by EndOp bits.
+func TestV2Batches(t *testing.T) {
+	ops := randomOps(13, 60, 1<<10)
+	meta := Meta{Name: "b", NumPages: 1 << 10}
+	path := writeV2(t, "batch.htrc", meta, ops, 7)
+
+	flat := func(ops [][]trace.Access) []trace.Access {
+		var out []trace.Access
+		for _, op := range ops {
+			for i, a := range op {
+				a.EndOp = i == len(op)-1
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	want := flat(ops)
+
+	br, err := OpenV2(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	br.disableWrap()
+	var got []trace.Access
+	for {
+		before := len(got)
+		got = br.NextBatch(got, 13)
+		if len(got) == before {
+			break
+		}
+	}
+	if err := br.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("NextBatch stream differs from the written ops")
+	}
+
+	pr, err := OpenV2(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	var unpacked []trace.Access
+	var opsSeen int
+	for opsSeen < len(ops) {
+		view := pr.NextPackedView(13)
+		if len(view) == 0 {
+			t.Fatalf("empty packed view after %d ops: %v", opsSeen, pr.Err())
+		}
+		for _, v := range view {
+			a := trace.UnpackAccess(v)
+			unpacked = append(unpacked, a)
+			if a.EndOp {
+				opsSeen++
+			}
+		}
+	}
+	if !reflect.DeepEqual(unpacked, want) {
+		t.Fatal("NextPackedView stream differs from the written ops")
+	}
+}
+
+// markedV1Trace captures a shifting source into a v1 trace with time and
+// shift marks spread across the stream.
+func markedV1Trace(t *testing.T, dir string) string {
+	t.Helper()
+	const n, opCount = 1 << 10, 120
+	src := trace.NewShiftingZipfSource("marks", n, 1.0, 0, 17, 40, 0.5)
+	path := filepath.Join(dir, "marks.htrc")
+	w, err := Create(path, MetaOf(src, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(src, w)
+	for i := 0; i < opCount; i++ {
+		rec.AdvanceTime(int64(i) * 1000)
+		rec.NextOp(nil)
+	}
+	rec.AdvanceTime(opCount * 1000)
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestConvertPreservesReplay: v1→v2 conversion must preserve the replayed
+// stream and the mark semantics — same ops, same clock, same shift state
+// at every step — and v2→v1 must round back identically.
+func TestConvertPreservesReplay(t *testing.T) {
+	dir := t.TempDir()
+	v1 := markedV1Trace(t, dir)
+	v2 := filepath.Join(dir, "marks.v2.htrc")
+	if err := Convert(v1, v2, Version2); err != nil {
+		t.Fatalf("Convert v1→v2: %v", err)
+	}
+	back := filepath.Join(dir, "marks.back.htrc")
+	if err := Convert(v2, back, Version); err != nil {
+		t.Fatalf("Convert v2→v1: %v", err)
+	}
+
+	for _, other := range []string{v2, back} {
+		a := mustOpen(t, v1)
+		b := mustOpen(t, other)
+		a.(interface{ disableWrap() }).disableWrap()
+		b.(interface{ disableWrap() }).disableWrap()
+		for i := 0; ; i++ {
+			opA := a.NextOp(nil)
+			opB := b.NextOp(nil)
+			if !reflect.DeepEqual(opA, opB) {
+				t.Fatalf("%s: op %d differs: %v vs %v", other, i, opA, opB)
+			}
+			if a.ShiftTime() != b.ShiftTime() {
+				t.Fatalf("%s: op %d shift state %d vs %d", other, i, a.ShiftTime(), b.ShiftTime())
+			}
+			ltA, sawA, _ := replayClock(a)
+			ltB, sawB, _ := replayClock(b)
+			if ltA != ltB || sawA != sawB {
+				t.Fatalf("%s: op %d clock (%d,%v) vs (%d,%v)", other, i, ltA, sawA, ltB, sawB)
+			}
+			if len(opA) == 0 {
+				break
+			}
+			if i > 1000 {
+				t.Fatal("runaway replay")
+			}
+		}
+		if a.Err() != nil || b.Err() != nil {
+			t.Fatalf("%s: replay errors %v / %v", other, a.Err(), b.Err())
+		}
+		infoA, errA := Stat(v1)
+		infoB, errB := Stat(other)
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: Stat errors %v / %v", other, errA, errB)
+		}
+		if infoA.Ops != infoB.Ops || infoA.Accesses != infoB.Accesses ||
+			infoA.EndNs != infoB.EndNs || infoA.ShiftNs != infoB.ShiftNs || !infoB.Clean {
+			t.Fatalf("%s: Stat drifted: %+v vs %+v", other, infoA, infoB)
+		}
+	}
+}
+
+// TestV2SeekOp: seeking to op k must leave the reader in exactly the state
+// a reader that consumed ops 0..k-1 one at a time is in — remaining
+// stream, replay clock, and shift state all equal.
+func TestV2SeekOp(t *testing.T) {
+	dir := t.TempDir()
+	v1 := markedV1Trace(t, dir)
+	v2 := filepath.Join(dir, "seek.htrc")
+	if err := Convert(v1, v2, Version2); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Stat(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{0, 1, 39, 40, 41, info.Ops - 1, info.Ops} {
+		slow, err := OpenV2(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow.disableWrap()
+		for i := int64(0); i < k; i++ {
+			if op := slow.NextOp(nil); len(op) == 0 {
+				t.Fatalf("k=%d: slow path exhausted at %d", k, i)
+			}
+		}
+		fast, err := OpenV2(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast.disableWrap()
+		if err := fast.SeekOp(k); err != nil {
+			t.Fatalf("SeekOp(%d): %v", k, err)
+		}
+		for i := k; ; i++ {
+			opS := slow.NextOp(nil)
+			opF := fast.NextOp(nil)
+			if !reflect.DeepEqual(opS, opF) {
+				t.Fatalf("k=%d: op %d differs", k, i)
+			}
+			if slow.ShiftTime() != fast.ShiftTime() || slow.lastTime != fast.lastTime ||
+				slow.sawTime != fast.sawTime || slow.shifts != fast.shifts {
+				t.Fatalf("k=%d: op %d replay state diverged: shift %d/%d clock %d/%d",
+					k, i, slow.ShiftTime(), fast.ShiftTime(), slow.lastTime, fast.lastTime)
+			}
+			if len(opS) == 0 {
+				break
+			}
+		}
+		if slow.Err() != nil || fast.Err() != nil {
+			t.Fatalf("k=%d: errors %v / %v", k, slow.Err(), fast.Err())
+		}
+		slow.Close()
+		fast.Close()
+	}
+
+	r, err := OpenV2(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.SeekOp(info.Ops + 1); err == nil {
+		t.Fatal("SeekOp past the end succeeded")
+	}
+	if err := r.SeekOp(-1); err == nil {
+		t.Fatal("SeekOp(-1) succeeded")
+	}
+}
+
+// TestV2TruncationAndCorruption: the failure surface the format promises —
+// missing trailers read as truncated, damaged bytes as corrupt, and
+// nothing panics.
+func TestV2TruncationAndCorruption(t *testing.T) {
+	ops := randomOps(14, 50, 1<<10)
+	src := writeV2(t, "base.htrc", Meta{Name: "c", NumPages: 1 << 10}, ops, 8)
+	base, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Missing or chopped footer/trailer: truncated, like an aborted capture.
+	for name, b := range map[string][]byte{
+		"no-trailer":   base[:len(base)-v2TrailerLen],
+		"half-trailer": base[:len(base)-3],
+	} {
+		if _, err := Open(write(name, b)); !errors.Is(err, ErrTruncated) {
+			t.Errorf("%s: Open = %v, want ErrTruncated", name, err)
+		}
+		if info, err := Stat(write(name+"-stat", b)); err == nil || info.Clean {
+			t.Errorf("%s: Stat accepted the file: %+v, %v", name, info, err)
+		}
+	}
+	// A prefix that chops the header itself must error too — truncated or
+	// corrupt, depending on where the varint parse lands.
+	if _, err := Open(write("header-only", base[:9])); err == nil {
+		t.Error("header-only prefix opened cleanly")
+	}
+
+	// A writer Abort leaves no footer: same truncation signal.
+	aborted := filepath.Join(dir, "aborted.htrc")
+	w, err := CreateV2(aborted, Meta{Name: "a", NumPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteOp([]trace.Access{{Page: 1}})
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(aborted); !errors.Is(err, ErrTruncated) {
+		t.Errorf("aborted capture: Open = %v, want ErrTruncated", err)
+	}
+
+	// A flipped bit in the body must surface as ErrCorrupt — at open time
+	// (footer damage) or as a latched replay error (block damage).
+	for i := 12; i < len(base); i += 17 {
+		b := append([]byte(nil), base...)
+		b[i] ^= 0x40
+		p := write("flip.htrc", b)
+		r, err := Open(p)
+		if err != nil {
+			continue // rejected at open: fine
+		}
+		for j := 0; j < len(ops)+1; j++ {
+			if op := r.NextOp(nil); len(op) == 0 {
+				break
+			}
+		}
+		r.Close()
+	}
+
+	// Footer length pointing into the header: corrupt, not a crash.
+	b := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint32(b[len(b)-v2TrailerLen:], uint32(len(b)))
+	if _, err := Open(write("bad-ftr-len.htrc", b)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad footer length: Open = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestV2RejectsGzipPath: v2 files are seekable and never gzip-framed.
+func TestV2RejectsGzipPath(t *testing.T) {
+	if _, err := CreateV2(filepath.Join(t.TempDir(), "t.htrc.gz"), Meta{Name: "g", NumPages: 4}); err == nil {
+		t.Fatal("CreateV2 accepted a .gz path")
+	}
+}
+
+// TestV2TrailingMarks: marks recorded after the final op (a shift on the
+// run's last tick) land in the final block and reach an exact-length
+// replay via AdvanceTime, exactly like v1 (TestShiftOnFinalTick).
+func TestV2TrailingMarks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trail.htrc")
+	w, err := CreateV2(path, Meta{Name: "tr", NumPages: 64, Shift: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.blockOps = 2
+	for i := 0; i < 5; i++ {
+		if err := w.WriteOp([]trace.Access{{Page: mem.PageID(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.MarkTime(5_000)
+	w.MarkShift(5_000)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, path)
+	for i := 0; i < 5; i++ {
+		r.NextOp(nil)
+	}
+	if r.ShiftTime() != -1 {
+		t.Fatalf("trailing shift consumed early: %d", r.ShiftTime())
+	}
+	r.AdvanceTime(5_000)
+	if r.ShiftTime() != 5_000 {
+		t.Fatalf("trailing shift not consumed: %d", r.ShiftTime())
+	}
+	if r.Loops() != 0 {
+		t.Fatalf("drain wrapped %d times", r.Loops())
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}

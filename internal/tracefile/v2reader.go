@@ -1,0 +1,657 @@
+package tracefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// ReaderV2 replays a version-2 trace as a trace.Source. Decoding is
+// block-at-a-time: the footer's block index maps any global op number to a
+// file offset, so the reader loads one block's packed words into memory,
+// serves ops (or zero-copy packed views of whole op runs) out of it, and
+// seeks to the next block — the whole trace is never materialized. SeekOp
+// repositions the replay at any recorded op without streaming the body.
+//
+// Replay semantics match Reader exactly: the source is infinite (the
+// stream wraps around at the recorded end), AdvanceTime only consumes
+// pending marks, ShiftTime reports the recorded shift marks, and decode
+// failures latch on Err while NextOp returns empty ops.
+type ReaderV2 struct {
+	path string
+	f    *os.File
+	meta Meta
+
+	index       []v2Block
+	firstOps    []int64 // prefix op sums per block, plus the total sentinel
+	totalAccs   int64
+	footerStart int64
+
+	// Loaded block state.
+	blk      int // index of the loaded block, -1 before the first load
+	words    []uint32
+	opStarts []int32 // word index of each loaded op's start, plus sentinel
+	marks    []v2Mark
+	markIdx  int
+	opInBlk  int64
+
+	// Replay clock state, mirroring Reader.
+	lastTime int64
+	sawTime  bool
+	shiftAt  int64
+	shifts   int
+
+	wrap  bool
+	loops int
+	done  bool
+	err   error
+
+	buf []byte // block read buffer
+}
+
+// OpenV2 parses path's header and block index footer and positions the
+// reader at the first op. Files whose trailer is missing or unreadable are
+// reported as truncated — an aborted capture can never pass for complete.
+func OpenV2(path string) (*ReaderV2, error) {
+	r := &ReaderV2{path: path, shiftAt: -1, wrap: true, blk: -1}
+	if err := r.open(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// open parses the header and footer into r, leaving the file open for
+// block reads.
+func (r *ReaderV2) open() error {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	size := fi.Size()
+	// The header is bounded (magic, version, flags, three varints, a name
+	// of at most maxNameLen bytes), so one bounded read covers it.
+	headMax := int64(len(Magic) + 2 + 3*binary.MaxVarintLen64 + maxNameLen)
+	if headMax > size {
+		headMax = size
+	}
+	head := make([]byte, headMax)
+	if _, err := io.ReadFull(f, head); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	hr := bytes.NewReader(head)
+	pre := make([]byte, len(Magic)+2)
+	if _, err := io.ReadFull(hr, pre); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(pre[:len(Magic)]) != Magic {
+		f.Close()
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, pre[:len(Magic)])
+	}
+	if v := pre[len(Magic)]; v != Version2 {
+		f.Close()
+		return fmt.Errorf("tracefile: unsupported version %d (this build reads versions %d and %d)",
+			v, Version, Version2)
+	}
+	flags := pre[len(Magic)+1]
+	if flags&FlagGzip != 0 {
+		f.Close()
+		return fmt.Errorf("%w: v2 traces cannot be gzip-framed", ErrCorrupt)
+	}
+	if rest := flags &^ FlagShift; rest != 0 {
+		f.Close()
+		return fmt.Errorf("tracefile: unsupported header flags %#02x", rest)
+	}
+	nameLen, err := binary.ReadUvarint(hr)
+	if err != nil || nameLen > maxNameLen {
+		f.Close()
+		return fmt.Errorf("%w: bad workload-name length", ErrCorrupt)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(hr, name); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: short workload name: %v", ErrCorrupt, err)
+	}
+	numPages, err := binary.ReadUvarint(hr)
+	if err != nil || numPages == 0 || numPages > v2PageLimit {
+		f.Close()
+		return fmt.Errorf("%w: bad page-space size", ErrCorrupt)
+	}
+	seed, err := binary.ReadUvarint(hr)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	r.meta = Meta{
+		Name:     string(name),
+		NumPages: int(numPages),
+		Seed:     seed,
+		Shift:    flags&FlagShift != 0,
+	}
+	headerEnd := int64(len(head)) - int64(hr.Len())
+	if err := r.parseFooter(f, size, headerEnd); err != nil {
+		f.Close()
+		return err
+	}
+	r.f = f
+	return nil
+}
+
+// parseFooter locates the footer via the fixed trailer at EOF and decodes
+// the block index, validating every entry so a corrupt index can never
+// drive an oversized allocation or an out-of-file read.
+func (r *ReaderV2) parseFooter(f *os.File, size, headerEnd int64) error {
+	if size < headerEnd+v2TrailerLen {
+		return fmt.Errorf("%w: v2 trace has no footer", ErrTruncated)
+	}
+	var tr [v2TrailerLen]byte
+	if _, err := f.ReadAt(tr[:], size-v2TrailerLen); err != nil {
+		return fmt.Errorf("%w: reading trailer: %v", ErrCorrupt, err)
+	}
+	if string(tr[4:]) != v2TrailerMagic {
+		return fmt.Errorf("%w: v2 trace has no footer", ErrTruncated)
+	}
+	ftrLen := int64(binary.LittleEndian.Uint32(tr[:4]))
+	ftrStart := size - v2TrailerLen - ftrLen
+	if ftrStart < headerEnd {
+		return fmt.Errorf("%w: footer length %d overlaps the header", ErrCorrupt, ftrLen)
+	}
+	ftr := make([]byte, ftrLen)
+	if _, err := f.ReadAt(ftr, ftrStart); err != nil {
+		return fmt.Errorf("%w: reading footer: %v", ErrCorrupt, err)
+	}
+	fr := bytes.NewReader(ftr)
+	nBlocks, err := binary.ReadUvarint(fr)
+	if err != nil || nBlocks > uint64(ftrLen) {
+		// Each index entry is at least three bytes, so a block count past
+		// the footer's own size is corrupt, not merely large.
+		return fmt.Errorf("%w: bad block count in footer", ErrCorrupt)
+	}
+	index := make([]v2Block, 0, nBlocks)
+	firstOps := make([]int64, 1, nBlocks+1)
+	prevOff, ops, accs := int64(0), int64(0), int64(0)
+	for i := uint64(0); i < nBlocks; i++ {
+		d, err := binary.ReadUvarint(fr)
+		if err != nil {
+			return fmt.Errorf("%w: short footer", ErrCorrupt)
+		}
+		bo, err := binary.ReadUvarint(fr)
+		if err != nil {
+			return fmt.Errorf("%w: short footer", ErrCorrupt)
+		}
+		ba, err := binary.ReadUvarint(fr)
+		if err != nil {
+			return fmt.Errorf("%w: short footer", ErrCorrupt)
+		}
+		off := prevOff + int64(d)
+		if off < headerEnd || off >= ftrStart || (len(index) > 0 && off <= prevOff) {
+			return fmt.Errorf("%w: block offset %d outside the body", ErrCorrupt, off)
+		}
+		if ba > v2BlockMaxAccesses || bo > ba || (bo == 0 && ba != 0) {
+			return fmt.Errorf("%w: block with %d ops / %d accesses", ErrCorrupt, bo, ba)
+		}
+		index = append(index, v2Block{off: off, ops: int64(bo), accesses: int64(ba)})
+		ops += int64(bo)
+		accs += int64(ba)
+		firstOps = append(firstOps, ops)
+		prevOff = off
+	}
+	if fr.Len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in footer", ErrCorrupt, fr.Len())
+	}
+	r.index = index
+	r.firstOps = firstOps
+	r.totalAccs = accs
+	r.footerStart = ftrStart
+	return nil
+}
+
+// Ops returns the recorded op count, from the footer — no body scan.
+func (r *ReaderV2) Ops() int64 { return r.firstOps[len(r.firstOps)-1] }
+
+// Header returns the trace's header fields.
+func (r *ReaderV2) Header() Meta { return r.meta }
+
+// Path returns the file the reader replays.
+func (r *ReaderV2) Path() string { return r.path }
+
+// Name implements trace.Source with the recorded workload's name.
+func (r *ReaderV2) Name() string { return r.meta.Name }
+
+// NumPages implements trace.Source from the header.
+func (r *ReaderV2) NumPages() int { return r.meta.NumPages }
+
+// ShiftTime implements trace.ShiftSource from the stream's shift marks.
+func (r *ReaderV2) ShiftTime() int64 { return r.shiftAt }
+
+// Loops reports how many times the reader wrapped around.
+func (r *ReaderV2) Loops() int { return r.loops }
+
+// Err returns the first failure the reader hit.
+func (r *ReaderV2) Err() error { return r.err }
+
+// Close releases the underlying file. The reader is unusable afterwards.
+func (r *ReaderV2) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	r.done = true
+	return err
+}
+
+// disableWrap switches the reader to one-pass mode (Stat, Convert).
+func (r *ReaderV2) disableWrap() { r.wrap = false }
+
+// fail latches the first error; NextOp returns empty ops from then on.
+func (r *ReaderV2) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.done = true
+}
+
+// blockEnd returns the file offset one past block i's last byte.
+func (r *ReaderV2) blockEnd(i int) int64 {
+	if i+1 < len(r.index) {
+		return r.index[i+1].off
+	}
+	return r.footerStart
+}
+
+// parseBlockHeader decodes block i's counts and marks from buf, returning
+// the byte offset where the packed words start, or -1 after latching a
+// corruption error. Mark positions must be nondecreasing and within the
+// block's op count — replay applies marks by position, so an out-of-range
+// position has no defined meaning.
+func (r *ReaderV2) parseBlockHeader(i int, buf []byte) (wordsAt int64, marks []v2Mark) {
+	br := bytes.NewReader(buf)
+	blkLen := int64(len(buf))
+	bo, err1 := binary.ReadUvarint(br)
+	ba, err2 := binary.ReadUvarint(br)
+	nm, err3 := binary.ReadUvarint(br)
+	if err1 != nil || err2 != nil || err3 != nil {
+		r.fail(fmt.Errorf("%w: short block header", ErrCorrupt))
+		return -1, nil
+	}
+	ent := r.index[i]
+	if int64(bo) != ent.ops || int64(ba) != ent.accesses {
+		r.fail(fmt.Errorf("%w: block %d counts %d ops/%d accesses disagree with the footer's %d/%d",
+			ErrCorrupt, i, bo, ba, ent.ops, ent.accesses))
+		return -1, nil
+	}
+	if nm > v2BlockMaxMarks {
+		r.fail(fmt.Errorf("%w: block with %d marks", ErrCorrupt, nm))
+		return -1, nil
+	}
+	marks = make([]v2Mark, 0, nm)
+	prevPos := int64(0)
+	for j := uint64(0); j < nm; j++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			r.fail(fmt.Errorf("%w: short mark section", ErrCorrupt))
+			return -1, nil
+		}
+		if kind != v2MarkTime && kind != v2MarkShift {
+			r.fail(fmt.Errorf("%w: unknown mark kind 0x%02x", ErrCorrupt, kind))
+			return -1, nil
+		}
+		pos, err := binary.ReadUvarint(br)
+		if err != nil {
+			r.fail(fmt.Errorf("%w: short mark section", ErrCorrupt))
+			return -1, nil
+		}
+		ns, err := binary.ReadUvarint(br)
+		if err != nil {
+			r.fail(fmt.Errorf("%w: short mark section", ErrCorrupt))
+			return -1, nil
+		}
+		if int64(pos) > ent.ops || int64(pos) < prevPos {
+			r.fail(fmt.Errorf("%w: mark position %d out of order in a %d-op block", ErrCorrupt, pos, ent.ops))
+			return -1, nil
+		}
+		prevPos = int64(pos)
+		marks = append(marks, v2Mark{kind: kind, pos: int64(pos), ns: unzigzag(ns)})
+	}
+	return blkLen - int64(br.Len()), marks
+}
+
+// loadBlock reads and decodes block i: marks, packed words, and the op
+// start index built from the words' end-of-op bits. Every word's page is
+// bounds-checked here, so a loaded block is fully validated.
+func (r *ReaderV2) loadBlock(i int) bool {
+	ent := r.index[i]
+	length := r.blockEnd(i) - ent.off
+	wantWords := ent.accesses * 4
+	if length < wantWords {
+		r.fail(fmt.Errorf("%w: block %d spans %d bytes, needs %d for its words", ErrCorrupt, i, length, wantWords))
+		return false
+	}
+	if int64(cap(r.buf)) < length {
+		r.buf = make([]byte, length)
+	}
+	buf := r.buf[:length]
+	if _, err := r.f.ReadAt(buf, ent.off); err != nil {
+		r.fail(fmt.Errorf("%w: reading block %d: %v", ErrCorrupt, i, err))
+		return false
+	}
+	wordsAt, marks := r.parseBlockHeader(i, buf)
+	if wordsAt < 0 {
+		return false
+	}
+	if length-wordsAt != wantWords {
+		r.fail(fmt.Errorf("%w: block %d has %d word bytes, header promises %d",
+			ErrCorrupt, i, length-wordsAt, wantWords))
+		return false
+	}
+	if int64(cap(r.words)) < ent.accesses {
+		r.words = make([]uint32, ent.accesses)
+	}
+	words := r.words[:ent.accesses]
+	if int64(cap(r.opStarts)) < ent.ops+1 {
+		r.opStarts = make([]int32, 0, ent.ops+1)
+	}
+	opStarts := append(r.opStarts[:0], 0)
+	raw := buf[wordsAt:]
+	for j := range words {
+		v := binary.LittleEndian.Uint32(raw[j*4:])
+		if int64(v>>2) >= int64(r.meta.NumPages) {
+			r.fail(fmt.Errorf("%w: page %d outside [0,%d)", ErrCorrupt, v>>2, r.meta.NumPages))
+			return false
+		}
+		words[j] = v
+		if v&2 != 0 {
+			opStarts = append(opStarts, int32(j+1))
+		}
+	}
+	if int64(len(opStarts))-1 != ent.ops {
+		r.fail(fmt.Errorf("%w: block %d delimits %d ops, header promises %d",
+			ErrCorrupt, i, len(opStarts)-1, ent.ops))
+		return false
+	}
+	r.words = words
+	r.opStarts = opStarts
+	r.marks = marks
+	r.markIdx = 0
+	r.opInBlk = 0
+	r.blk = i
+	return true
+}
+
+// applyMarks consumes marks at positions up to and including upTo, in
+// recorded order: time marks set the replay clock, shift marks timestamp
+// adaptation exactly like the live run reported it.
+func (r *ReaderV2) applyMarks(upTo int64) {
+	for r.markIdx < len(r.marks) && r.marks[r.markIdx].pos <= upTo {
+		m := r.marks[r.markIdx]
+		r.markIdx++
+		switch m.kind {
+		case v2MarkTime:
+			r.lastTime = m.ns
+			r.sawTime = true
+		case v2MarkShift:
+			r.shiftAt = m.ns
+			r.shifts++
+		}
+	}
+}
+
+// ensureOp positions the reader on the next undelivered op, loading blocks,
+// applying due marks, and wrapping around at the recorded end. It returns
+// false when no op can be delivered (latched error, or end of a one-pass
+// scan).
+func (r *ReaderV2) ensureOp() bool {
+	for {
+		if r.done || r.err != nil {
+			return false
+		}
+		if r.blk >= 0 && r.opInBlk < r.index[r.blk].ops {
+			r.applyMarks(r.opInBlk)
+			return true
+		}
+		if r.blk >= 0 {
+			// Block exhausted: its trailing marks apply before anything in
+			// a later block.
+			r.applyMarks(r.index[r.blk].ops)
+		}
+		next := r.blk + 1
+		if next < len(r.index) {
+			if !r.loadBlock(next) {
+				return false
+			}
+			continue
+		}
+		// End of the recorded stream.
+		if !r.wrap {
+			r.done = true
+			return false
+		}
+		if r.Ops() == 0 {
+			// Wrapping an op-less trace would spin forever; latch instead,
+			// exactly like the v1 reader.
+			r.fail(fmt.Errorf("tracefile: %s has no op records to replay", r.path))
+			return false
+		}
+		r.loops++
+		r.lastTime = 0
+		if !r.loadBlock(0) {
+			return false
+		}
+	}
+}
+
+// NextOp implements trace.Source: marks due before the op are applied, the
+// op's accesses are decoded, and a decode failure latches Err and returns
+// dst unchanged.
+func (r *ReaderV2) NextOp(dst []trace.Access) []trace.Access {
+	if !r.ensureOp() {
+		return dst
+	}
+	lo, hi := r.opStarts[r.opInBlk], r.opStarts[r.opInBlk+1]
+	for _, v := range r.words[lo:hi] {
+		dst = append(dst, trace.UnpackAccess(v))
+	}
+	// Single-op fetches leave EndOp false, per the Source contract.
+	dst[len(dst)-1].EndOp = false
+	r.opInBlk++
+	return dst
+}
+
+// AdvanceTime implements trace.Source: replay ignores the clock, but marks
+// due at the current position (including marks trailing the final op) are
+// consumed here, at the same point the live run reported them.
+func (r *ReaderV2) AdvanceTime(int64) {
+	if r.done || r.err != nil {
+		return
+	}
+	if r.blk < 0 {
+		if len(r.index) == 0 || !r.loadBlock(0) {
+			return
+		}
+	}
+	r.applyMarks(r.opInBlk)
+}
+
+// NextBatch implements trace.BatchSource: up to max whole ops per call,
+// each op's final access carrying EndOp (the packed words store the bit).
+// Marks interleaved with the batch are applied as the batch crosses them,
+// exactly like the v1 reader's decode loop.
+func (r *ReaderV2) NextBatch(dst []trace.Access, max int) []trace.Access {
+	for n := 0; n < max; n++ {
+		if !r.ensureOp() {
+			break
+		}
+		lo, hi := r.opStarts[r.opInBlk], r.opStarts[r.opInBlk+1]
+		for _, v := range r.words[lo:hi] {
+			dst = append(dst, trace.UnpackAccess(v))
+		}
+		r.opInBlk++
+	}
+	return dst
+}
+
+// NextPackedView implements trace.PackedViewSource: up to max whole ops
+// returned as a read-only view of the loaded block's packed words — no
+// copy, no decode. A view never spans a block boundary (so it may hold
+// fewer than max ops), and an empty view means the replay has failed and
+// latched Err.
+func (r *ReaderV2) NextPackedView(max int) []uint32 {
+	if max <= 0 || !r.ensureOp() {
+		return nil
+	}
+	take := int64(max)
+	if rem := r.index[r.blk].ops - r.opInBlk; take > rem {
+		take = rem
+	}
+	// Marks due before any op the view covers are applied now; the caller
+	// consumes the whole view before asking again, like a NextBatch.
+	r.applyMarks(r.opInBlk + take - 1)
+	lo, hi := r.opStarts[r.opInBlk], r.opStarts[r.opInBlk+take]
+	r.opInBlk += take
+	return r.words[lo:hi]
+}
+
+// SeekOp repositions the replay at global op n (0 ≤ n ≤ recorded ops)
+// without streaming the body: the block index locates n's block directly,
+// and only the mark sections of earlier blocks are read — never their
+// packed words — so the replay clock and shift state match a reader that
+// discarded n ops the slow way. Seeking resets wrap-around state; n equal
+// to the recorded op count positions the replay at the end (the next fetch
+// wraps).
+func (r *ReaderV2) SeekOp(n int64) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.f == nil {
+		return fmt.Errorf("tracefile: SeekOp on a closed reader")
+	}
+	total := r.Ops()
+	if n < 0 || n > total {
+		return fmt.Errorf("tracefile: SeekOp(%d) outside [0,%d]", n, total)
+	}
+	r.lastTime, r.sawTime = 0, false
+	r.shiftAt, r.shifts = -1, 0
+	r.loops = 0
+	r.done = false
+	// Find the block holding op n (the last block when n == total, so
+	// trailing marks stay pending for the next fetch to apply).
+	b := 0
+	for b+1 < len(r.index) && r.firstOps[b+1] <= n {
+		b++
+	}
+	if len(r.index) == 0 {
+		r.blk = -1
+		return nil
+	}
+	// Marks in earlier blocks all precede op n; apply them in order from
+	// each block's mark section alone.
+	for i := 0; i < b; i++ {
+		marks, ok := r.readBlockMarks(i)
+		if !ok {
+			return r.err
+		}
+		for _, m := range marks {
+			r.applyMark(m)
+		}
+	}
+	if !r.loadBlock(b) {
+		return r.err
+	}
+	inBlk := n - r.firstOps[b]
+	// Marks strictly before op n apply now; marks at position n itself are
+	// pending, applied when op n is fetched — the same state a reader that
+	// consumed ops 0..n-1 one at a time would be in.
+	r.applyMarks(inBlk - 1)
+	r.opInBlk = inBlk
+	return nil
+}
+
+// applyMark applies one mark unconditionally (SeekOp's earlier-block scan).
+func (r *ReaderV2) applyMark(m v2Mark) {
+	switch m.kind {
+	case v2MarkTime:
+		r.lastTime = m.ns
+		r.sawTime = true
+	case v2MarkShift:
+		r.shiftAt = m.ns
+		r.shifts++
+	}
+}
+
+// readBlockMarks decodes block i's mark section without reading its packed
+// words: it reads a small prefix of the block and grows it only if the
+// mark section is unusually large, so a seek across many blocks stays
+// cheap. Failures latch on Err and report false.
+func (r *ReaderV2) readBlockMarks(i int) ([]v2Mark, bool) {
+	ent := r.index[i]
+	length := r.blockEnd(i) - ent.off
+	prefix := int64(4096)
+	for {
+		if prefix > length {
+			prefix = length
+		}
+		if int64(cap(r.buf)) < prefix {
+			r.buf = make([]byte, prefix)
+		}
+		buf := r.buf[:prefix]
+		if _, err := r.f.ReadAt(buf, ent.off); err != nil {
+			r.fail(fmt.Errorf("%w: reading block %d: %v", ErrCorrupt, i, err))
+			return nil, false
+		}
+		wordsAt, marks := r.parseBlockHeader(i, buf)
+		if wordsAt >= 0 {
+			return marks, true
+		}
+		if prefix == length {
+			// The whole block is in memory and still fails: truly corrupt.
+			return nil, false
+		}
+		// The mark section may extend past the prefix; the parse failure
+		// latched an error that retrying with more bytes may clear.
+		r.err = nil
+		r.done = false
+		prefix *= 8
+	}
+}
+
+// statV2 scans a v2 trace end to end, decoding every block (and therefore
+// bounds-checking every word) exactly like Stat's v1 pass.
+func statV2(path string) (Info, error) {
+	r, err := OpenV2(path)
+	if err != nil {
+		return Info{}, err
+	}
+	defer r.Close()
+	r.disableWrap()
+	info := Info{Meta: r.Header(), Version: Version2, ShiftNs: -1, EndNs: -1}
+	var buf []trace.Access
+	for {
+		buf = r.NextOp(buf[:0])
+		if len(buf) == 0 {
+			break
+		}
+		info.Ops++
+		info.Accesses += int64(len(buf))
+	}
+	// Trailing marks past the final op (including a final marks-only
+	// block) are consumed by ensureOp's end-of-stream transition.
+	info.Shifts = r.shifts
+	info.ShiftNs = r.ShiftTime()
+	if r.sawTime {
+		info.EndNs = r.lastTime
+	}
+	info.Clean = r.done && r.err == nil &&
+		info.Ops == r.Ops() && info.Accesses == r.totalAccs
+	return info, r.err
+}

@@ -45,9 +45,10 @@ func DefaultPolicies() *PolicyRegistry { return registry.Policies }
 func DefaultWorkloads() *WorkloadRegistry { return registry.Workloads }
 
 // ValidateWorkload reports whether name would resolve through the
-// workload registry: a registered generator, a trace:<path> replay, or a
-// composition spec (docs/COMPOSITION.md) whose referenced generators all
-// exist. It parses and checks without constructing anything, so CLIs can
+// workload registry: a registered generator, a trace:<path> replay, a
+// corpus:<hash> replay (shape-checked only; the store is consulted at
+// build time), or a composition spec (docs/COMPOSITION.md) whose
+// referenced generators all exist. It parses and checks without constructing anything, so CLIs can
 // reject a bad -workload before any simulation starts.
 func ValidateWorkload(name string) error { return registry.Workloads.Validate(name) }
 

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/registry"
 )
@@ -83,7 +84,16 @@ func (s SweepSpec) Canonical() (SweepSpec, error) {
 		return SweepSpec{}, terr
 	} else if hasTrace {
 		return SweepSpec{}, fmt.Errorf("hybridtier: trace workloads are not content-addressable "+
-			"(the spec hash covers the path, not the trace bytes); replay %q locally instead", s.Workload)
+			"(the spec hash covers the path, not the trace bytes); replay %q locally instead, "+
+			"or upload the trace and submit it as corpus:<hash>", s.Workload)
+	}
+	// corpus:<hash> IS content-addressable (the hash names the trace
+	// bytes), but a pure replay ignores seeds, so a multi-seed sweep of a
+	// bare corpus leaf would archive identical cells under distinct labels.
+	// Composed specs keep their seeds: the other tenants still draw on them.
+	if strings.HasPrefix(name, registry.CorpusScheme) && len(s.Seeds) > 1 {
+		return SweepSpec{}, fmt.Errorf("hybridtier: a corpus trace replay ignores seeds; "+
+			"sweeping %d seeds would produce identical cells under different labels", len(s.Seeds))
 	}
 	c.Workload = name
 	if len(s.Policies) == 0 {

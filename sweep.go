@@ -171,9 +171,21 @@ func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
 	// A trace replays the same literal stream regardless of seed (and the
 	// seed drives nothing else in a replay), so a multi-seed sweep would
 	// emit identical cells labeled with distinct seeds — archived results
-	// lying about what ran, like the zero coordinates rejected below.
+	// lying about what ran, like the zero coordinates rejected below. This
+	// covers both replay spellings: trace:<path> and corpus:<hash>, the
+	// latter resolved to its stored file through the registry.
 	var baseExtra []Option
+	tracePath := ""
 	if path, ok := strings.CutPrefix(probe.wname, registry.TraceScheme); ok {
+		tracePath = path
+	} else if hash, ok := strings.CutPrefix(probe.wname, registry.CorpusScheme); ok {
+		path, err := registry.ResolveCorpus(hash)
+		if err != nil {
+			return nil, err
+		}
+		tracePath = path
+	}
+	if tracePath != "" {
 		if len(s.Seeds) > 1 {
 			return nil, fmt.Errorf("hybridtier: a trace workload ignores seeds; "+
 				"sweeping %d seeds would produce identical cells under different labels",
@@ -182,12 +194,12 @@ func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
 		// Resolve the replay-length default once here rather than once
 		// per cell: Experiment.Run's fallback rescans the whole trace.
 		if !probe.opsSet {
-			info, err := tracefile.Stat(path)
+			info, err := tracefile.Stat(tracePath)
 			if err != nil {
 				return nil, err
 			}
 			if info.Ops == 0 {
-				return nil, fmt.Errorf("hybridtier: trace %s has no op records", path)
+				return nil, fmt.Errorf("hybridtier: trace %s has no op records", tracePath)
 			}
 			baseExtra = append(baseExtra, WithOps(info.Ops))
 		}
