@@ -16,11 +16,50 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	hybridtier "repro"
 	"repro/internal/jobs"
 	"repro/internal/tracefile"
 )
+
+// A 503 from POST /jobs is transient by design — the daemon is draining
+// for restart or its queue is momentarily full — so the client retries
+// with capped exponential backoff before giving up. The knobs are
+// variables so the retry test runs in milliseconds.
+var (
+	submitRetries     = 5
+	submitBackoffBase = 200 * time.Millisecond
+	submitBackoffCap  = 3 * time.Second
+	submitSleep       = time.Sleep
+)
+
+// postJob submits the spec, retrying transient 503s. It returns the
+// first non-503 response, or the final 503 once retries are exhausted —
+// the caller's status handling sees exactly what a single post would.
+func postJob(base string, body []byte, stderr io.Writer) (*http.Response, error) {
+	backoff := submitBackoffBase
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= submitRetries {
+			return resp, nil
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		fmt.Fprintf(stderr, "htiersim: daemon unavailable (%s); retrying in %s\n", e.Error, backoff)
+		submitSleep(backoff)
+		backoff *= 2
+		if backoff > submitBackoffCap {
+			backoff = submitBackoffCap
+		}
+	}
+}
 
 // submitToDaemon drives the submit → stream → fetch flow. Exit codes
 // mirror the local path: 0 success, 1 run/transport failure, 2 when the
@@ -37,7 +76,7 @@ func submitToDaemon(base string, spec hybridtier.SweepSpec, jsonOut, series bool
 	if err != nil {
 		return fail(1, "%v", err)
 	}
-	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := postJob(base, body, stderr)
 	if err != nil {
 		return fail(1, "submit: %v", err)
 	}

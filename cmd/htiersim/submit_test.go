@@ -6,8 +6,11 @@ package main
 // simulating locally — cache hit or not.
 
 import (
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -110,5 +113,109 @@ func TestSubmitRejectionsAndConflicts(t *testing.T) {
 	code, _, stderr = runCLI(t, "-workload", "zipf", "-submit", "http://127.0.0.1:1")
 	if code != 1 {
 		t.Errorf("unreachable daemon: exit %d (%s), want 1", code, stderr)
+	}
+}
+
+// recordSleeps replaces the retry clock with a recorder so backoff tests
+// assert the exact schedule without actually waiting it out.
+func recordSleeps(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var sleeps []time.Duration
+	orig := submitSleep
+	submitSleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+	t.Cleanup(func() { submitSleep = orig })
+	return &sleeps
+}
+
+// drainingHandler builds a REAL daemon handler whose manager has been
+// drained: its POST /jobs answers the production 503 "daemon is draining"
+// that the retry loop classifies as transient.
+func drainingHandler(t *testing.T) http.Handler {
+	t.Helper()
+	cache, err := jobs.NewCache(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jobs.NewManager(jobs.Config{Workers: 1, Run: service.Runner(1), Cache: cache})
+	service.Drain(m, 10*time.Second)
+	return service.NewHandler(service.Config{Manager: m})
+}
+
+// TestSubmitRetriesDrainingDaemonThenSucceeds: the first two posts land
+// on a draining daemon (a restart in progress); the client backs off
+// 200ms then 400ms and the third attempt, reaching the recovered daemon,
+// carries the submission through to a normal exit-0 run.
+func TestSubmitRetriesDrainingDaemonThenSucceeds(t *testing.T) {
+	sleeps := recordSleeps(t)
+	draining := drainingHandler(t)
+	live := startServiceServer(t)
+
+	var posts atomic.Int32
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/jobs" && posts.Add(1) <= 2 {
+			draining.ServeHTTP(w, r)
+			return
+		}
+		// After the "restart", everything proxies to the live daemon.
+		r.URL.Scheme, r.URL.Host = "http", strings.TrimPrefix(live.URL, "http://")
+		resp, err := http.DefaultTransport.RoundTrip(r)
+		if err != nil {
+			t.Errorf("proxy: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			return
+		}
+	}))
+	t.Cleanup(front.Close)
+
+	code, _, stderr := runCLI(t,
+		"-workload", "zipf", "-policy", "LRU",
+		"-scale", "tiny", "-ops", "2000",
+		"-submit", front.URL)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 after retries: %s", code, stderr)
+	}
+	if want := []time.Duration{200 * time.Millisecond, 400 * time.Millisecond}; len(*sleeps) != 2 || (*sleeps)[0] != want[0] || (*sleeps)[1] != want[1] {
+		t.Errorf("backoff schedule = %v, want %v", *sleeps, want)
+	}
+	if !strings.Contains(stderr, "daemon unavailable (daemon is draining); retrying in 200ms") {
+		t.Errorf("stderr lacks the retry notice: %q", stderr)
+	}
+}
+
+// TestSubmitRetryExhaustionExitsOne: a daemon that drains forever. The
+// client retries submitRetries times with doubling, capped backoff, then
+// relays the final 503 and exits 1.
+func TestSubmitRetryExhaustionExitsOne(t *testing.T) {
+	sleeps := recordSleeps(t)
+	srv := httptest.NewServer(drainingHandler(t))
+	t.Cleanup(srv.Close)
+
+	code, _, stderr := runCLI(t, "-workload", "zipf", "-submit", srv.URL)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 after exhausting retries: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "daemon unavailable: daemon is draining") {
+		t.Errorf("stderr lacks the final diagnosis: %q", stderr)
+	}
+	want := []time.Duration{
+		200 * time.Millisecond, 400 * time.Millisecond, 800 * time.Millisecond,
+		1600 * time.Millisecond, 3 * time.Second, // the cap clips the fifth doubling
+	}
+	if len(*sleeps) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(*sleeps), *sleeps, len(want))
+	}
+	for i, d := range want {
+		if (*sleeps)[i] != d {
+			t.Errorf("sleep %d = %s, want %s", i, (*sleeps)[i], d)
+		}
 	}
 }

@@ -12,6 +12,7 @@
 //	htiersimd [-addr :8080] [-jobs 2] [-sweep-workers 0] [-queue 64]
 //	          [-cache-mb 256] [-cache-dir DIR] [-cache-disk-mb 0]
 //	          [-corpus-dir DIR] [-max-trace-mb 1024] [-drain-timeout 1m]
+//	          [-worker -join URL [-advertise URL]]
 //
 // Submit work with htiersim -submit http://host:8080 (plus the usual
 // sweep flags), or POST a JSON spec to /jobs directly:
@@ -30,6 +31,19 @@
 // still serves the trace API out of a private temporary directory —
 // uploads work, but they vanish with the process; point -corpus-dir at a
 // real path to keep them. -max-trace-mb bounds one upload.
+//
+// Daemons federate into a sweep fabric (docs/FABRIC.md). By default a
+// daemon is a coordinator: worker daemons started with
+// -worker -join http://coordinator:8080 register with it (registration
+// doubles as heartbeat), pull shards of each submitted sweep, and the
+// coordinator merges their per-cell results into bytes identical to a
+// single-process run. -advertise sets the URL the coordinator dials back;
+// it defaults to the loopback address of the worker's listener, which is
+// only right when the fleet shares a host. Worker loss mid-sweep requeues
+// its cells; a coordinator with no live workers simply runs sweeps
+// in-process, so a fleet of one daemon behaves exactly as before. Caches
+// federate too: a result cached by any member is a read-through hit for
+// the others.
 //
 // On SIGTERM or SIGINT the daemon
 // drains gracefully — intake returns 503, running jobs get -drain-timeout
@@ -51,10 +65,22 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/fabric"
 	"repro/internal/jobs"
 	"repro/internal/registry"
 	"repro/internal/service"
 )
+
+// loopbackURL derives the default -advertise value from the bound
+// listener: loopback plus the real port, right for single-host fleets
+// (and the tests), wrong across hosts — where -advertise is mandatory.
+func loopbackURL(addr net.Addr) string {
+	_, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	return "http://127.0.0.1:" + port
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stderr, nil))
@@ -77,6 +103,9 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 	corpusDir := fs.String("corpus-dir", "", "trace corpus directory (empty = private temp dir, lost at exit)")
 	maxTraceMB := fs.Int64("max-trace-mb", 1024, "largest accepted trace upload, megabytes")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long running jobs may finish after SIGTERM")
+	workerMode := fs.Bool("worker", false, "join a sweep fabric as a worker instead of coordinating one")
+	join := fs.String("join", "", "coordinator base URL to register with (worker mode)")
+	advertise := fs.String("advertise", "", "base URL the coordinator dials back (default: loopback + listen port)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -114,10 +143,61 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 	registry.SetCorpusResolver(store.Path)
 	defer registry.SetCorpusResolver(nil)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The listener opens before the handlers exist because worker mode
+	// advertises its own port, which is only known once the bind lands.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+
+	// Fabric role. A plain daemon coordinates: its jobs run through the
+	// fleet scheduler, which degrades to the exact single-process path
+	// while no workers are registered. -worker flips the daemon to the
+	// other side of the protocol: execute shards, heartbeat the
+	// coordinator, and read through its cache.
+	runner := service.Runner(*sweepWorkers)
+	var fabricHandler http.Handler
+	var fleet func() any
+	if *workerMode || *join != "" {
+		if *join == "" {
+			logger.Print("-worker requires -join <coordinator base url>")
+			return 2
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = loopbackURL(ln.Addr())
+		}
+		wk := fabric.NewWorker(fabric.WorkerConfig{
+			Self:        adv,
+			Coordinator: *join,
+			Run:         runner,
+			Cache:       cache,
+			Log:         logger,
+		})
+		cache.SetRemote(wk.ProbeCoordinator)
+		fabricHandler = wk.Handler()
+		go wk.Join(ctx)
+		logger.Printf("worker mode: joining %s, advertising %s", *join, adv)
+	} else {
+		coord := fabric.NewCoordinator(fabric.Config{
+			Cache: cache,
+			Local: runner,
+			Log:   logger,
+		})
+		cache.SetRemote(coord.ProbeWorkers)
+		fabricHandler = coord.Handler()
+		fleet = func() any { return coord.Status() }
+		runner = coord.Runner()
+	}
+
 	manager := jobs.NewManager(jobs.Config{
 		Workers:    *jobWorkers,
 		QueueDepth: *queueDepth,
-		Run:        service.Runner(*sweepWorkers),
+		Run:        runner,
 		Cache:      cache,
 	})
 	srv := &http.Server{
@@ -126,18 +206,12 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 			Manager:       manager,
 			Corpus:        store,
 			MaxTraceBytes: *maxTraceMB << 20,
+			Fabric:        fabricHandler,
+			Fleet:         fleet,
 			Log:           logger,
 		}),
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		logger.Print(err)
-		return 1
-	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -16,6 +17,9 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	hybridtier "repro"
+	"repro/internal/service"
 )
 
 // startDaemon runs the daemon on an ephemeral port and returns its base
@@ -130,6 +134,134 @@ func TestDaemonServesAndDrainsOnSigterm(t *testing.T) {
 		if !strings.Contains(logs.String(), want) {
 			t.Errorf("log lacks %q:\n%s", want, logs.String())
 		}
+	}
+}
+
+// TestDaemonFleetShardsSweepAcrossRealSockets: a coordinator daemon and a
+// `-worker -join` daemon, both on real ephemeral ports, shard a submitted
+// sweep between them. The served result must be byte-identical to an
+// in-process run, the coordinator's /healthz must show the live worker
+// credited with every cell, and one SIGTERM must drain both cleanly.
+func TestDaemonFleetShardsSweepAcrossRealSockets(t *testing.T) {
+	coordURL, _, waitCoord := startDaemon(t)
+	_, workerLogs, waitWorker := startDaemon(t, "-worker", "-join", coordURL)
+
+	// The worker registers on its first heartbeat; wait for the fleet
+	// section to show it live.
+	fleetOf := func() (fleet struct {
+		Workers []struct {
+			URL            string `json:"url"`
+			Live           bool   `json:"live"`
+			CommittedCells int64  `json:"committed_cells"`
+		} `json:"workers"`
+		Live int `json:"live"`
+	}) {
+		resp, err := http.Get(coordURL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var health struct {
+			Fleet json.RawMessage `json:"fleet"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(health.Fleet, &fleet); err != nil {
+			t.Fatalf("healthz fleet section %s: %v", health.Fleet, err)
+		}
+		return fleet
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for fleetOf().Live < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never joined the fleet:\n%s", workerLogs.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Submit canonical bytes so the expected output is computable locally.
+	spec := hybridtier.SweepSpec{
+		Workload: "zipf",
+		Params:   &hybridtier.WorkloadParams{Pages: 1024},
+		Policies: []hybridtier.PolicyName{hybridtier.PolicyHybridTier, hybridtier.PolicyLRU},
+		Ratios:   []int{8},
+		Seeds:    []uint64{1, 2},
+		Ops:      2_000,
+	}
+	canonical, err := spec.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected, err := service.Runner(2)(context.Background(), canonical, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(coordURL+"/jobs", "application/json", bytes.NewReader(canonical))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID   string `json:"id"`
+		Hash string `json:"hash"`
+	}
+	json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(coordURL + "/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(events), `"state":"done"`) {
+		t.Fatalf("fleet sweep never reached done:\n%s", events)
+	}
+
+	resp, err = http.Get(coordURL + "/results/" + sub.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result fetch status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(result, expected) {
+		t.Errorf("fleet-served result differs from the in-process run:\n got %.200s\nwant %.200s", result, expected)
+	}
+
+	// All 4 cells ran on the worker daemon, over a real socket.
+	fleet := fleetOf()
+	if len(fleet.Workers) != 1 || !fleet.Workers[0].Live {
+		t.Fatalf("fleet = %+v, want one live worker", fleet)
+	}
+	if got := fleet.Workers[0].CommittedCells; got != 4 {
+		t.Errorf("worker credited with %d cells, want 4", got)
+	}
+
+	// One SIGTERM reaches both in-process daemons; each drains to exit 0.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := waitWorker(); code != 0 {
+		t.Errorf("worker exit %d:\n%s", code, workerLogs.String())
+	}
+	if code := waitCoord(); code != 0 {
+		t.Errorf("coordinator exit %d", code)
+	}
+}
+
+func TestDaemonWorkerRequiresJoin(t *testing.T) {
+	logs := &lockedBuffer{}
+	if code := run([]string{"-worker"}, logs, nil); code != 2 {
+		t.Errorf("-worker without -join exit %d, want 2", code)
+	}
+	if !strings.Contains(logs.String(), "-worker requires -join") {
+		t.Errorf("log lacks the usage diagnosis:\n%s", logs.String())
 	}
 }
 

@@ -1,0 +1,197 @@
+package fabric
+
+// The fabric's HTTP error strings and the /healthz fleet JSON are API
+// surface: operators grep logs for them, clients branch on them, and the
+// docs quote them. Like internal/registry's errors_test.go, every string
+// is pinned EXACTLY — if one of these fails, either fix an accidental
+// rewording or update the string everywhere it is documented.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/service"
+)
+
+// handlerError performs one request against h and returns the status
+// code and the decoded {"error": ...} body.
+func handlerError(t *testing.T, h http.Handler, method, path, body string) (int, string) {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var e struct {
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(rec.Body.Bytes(), &e)
+	return rec.Code, e.Error
+}
+
+func TestCoordinatorErrorStrings(t *testing.T) {
+	cache, err := jobs.NewCache(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(Config{Cache: cache, Local: service.Runner(1)})
+	h := coord.Handler()
+	missHash := strings.Repeat("0", 64)
+	cases := []struct {
+		name, method, path, body string
+		wantCode                 int
+		wantError                string
+	}{
+		{"register bad json", http.MethodPost, "/fabric/register", "{",
+			http.StatusBadRequest, "fabric: bad register body: unexpected EOF"},
+		{"register empty url", http.MethodPost, "/fabric/register", `{"url":""}`,
+			http.StatusBadRequest, "fabric: register needs a worker url"},
+		{"register relative url", http.MethodPost, "/fabric/register", `{"url":"notaurl"}`,
+			http.StatusBadRequest, `fabric: register url "notaurl" is not an absolute http url`},
+		{"result malformed hash", http.MethodGet, "/fabric/result/nope", "",
+			http.StatusBadRequest, "fabric: malformed result hash: want 64 lowercase hex digits"},
+		{"result miss", http.MethodGet, "/fabric/result/" + missHash, "",
+			http.StatusNotFound, "fabric: no local result for hash " + missHash},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, msg := handlerError(t, h, tc.method, tc.path, tc.body)
+			if code != tc.wantCode {
+				t.Errorf("status = %d, want %d", code, tc.wantCode)
+			}
+			if msg != tc.wantError {
+				t.Errorf("error = %q, want %q", msg, tc.wantError)
+			}
+		})
+	}
+}
+
+func TestWorkerErrorStrings(t *testing.T) {
+	w := NewWorker(WorkerConfig{
+		Self:        "http://self",
+		Coordinator: "http://coord",
+		Run:         service.Runner(1),
+	})
+	h := w.Handler()
+	spec := string(canonical(t, testSpec()))
+	cases := []struct {
+		name, body string
+		wantCode   int
+		wantError  string
+	}{
+		{"bad json", "{",
+			http.StatusBadRequest, "fabric: bad shard body: unexpected EOF"},
+		{"no cells", `{"spec":` + spec + `,"cells":[]}`,
+			http.StatusBadRequest, "fabric: shard needs at least one cell"},
+		{"index out of range", `{"spec":` + spec + `,"cells":[99]}`,
+			http.StatusBadRequest, "fabric: shard cell index 99 outside the spec's 8 cells"},
+		{"negative index", `{"spec":` + spec + `,"cells":[-1]}`,
+			http.StatusBadRequest, "fabric: shard cell index -1 outside the spec's 8 cells"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, msg := handlerError(t, h, http.MethodPost, "/fabric/run", tc.body)
+			if code != tc.wantCode {
+				t.Errorf("status = %d, want %d", code, tc.wantCode)
+			}
+			if msg != tc.wantError {
+				t.Errorf("error = %q, want %q", msg, tc.wantError)
+			}
+		})
+	}
+}
+
+// marshalCompact is json.Marshal or bust.
+func marshalCompact(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestFleetStatusJSONShape(t *testing.T) {
+	coord := NewCoordinator(Config{Local: service.Runner(1)})
+	if got, want := marshalCompact(t, coord.Status()), `{"workers":[],"live":0}`; got != want {
+		t.Errorf("empty fleet status = %s, want %s", got, want)
+	}
+	rec := httptest.NewRecorder()
+	coord.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/fabric/register",
+		strings.NewReader(`{"url":"http://w0"}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("register status %d", rec.Code)
+	}
+	if got, want := strings.TrimSpace(rec.Body.String()), `{"workers":1}`; got != want {
+		t.Errorf("register body = %s, want %s", got, want)
+	}
+	want := `{"workers":[{"url":"http://w0","live":true,"inflight_cells":0,"committed_cells":0}],"live":1}`
+	if got := marshalCompact(t, coord.Status()); got != want {
+		t.Errorf("fleet status = %s, want %s", got, want)
+	}
+}
+
+func TestServiceMountsFabricAndReportsFleet(t *testing.T) {
+	cache, err := jobs.NewCache(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(Config{Cache: cache, Local: service.Runner(1)})
+	m := jobs.NewManager(jobs.Config{Workers: 1, Run: coord.Runner(), Cache: cache})
+	srv := httptest.NewServer(service.NewHandler(service.Config{
+		Manager: m,
+		Fabric:  coord.Handler(),
+		Fleet:   func() any { return coord.Status() },
+	}))
+	t.Cleanup(func() {
+		srv.Close()
+		service.Drain(m, 30*time.Second)
+	})
+
+	// Registration travels through the daemon's real mux to the mounted
+	// fabric handler.
+	resp, err := http.Post(srv.URL+"/fabric/register", "application/json",
+		strings.NewReader(`{"url":"http://w0:1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register via service mux: status %d", resp.StatusCode)
+	}
+
+	// /healthz now carries the fleet section with the registered worker.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Fleet FleetStatus `json:"fleet"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Fleet.Live != 1 || len(health.Fleet.Workers) != 1 || health.Fleet.Workers[0].URL != "http://w0:1" {
+		t.Errorf("healthz fleet = %+v, want one live worker http://w0:1", health.Fleet)
+	}
+
+	// The coordinator's cache probe endpoint answers through the mount
+	// too — from LOCAL tiers, pinned by the shared serveLocalResult path.
+	hash := strings.Repeat("a", 64)
+	if err := cache.Put(hash, []byte(`{"x":1}`), nil); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := probeResult(nil, srv.URL, hash, time.Second)
+	if !ok || string(data) != `{"x":1}` {
+		t.Errorf("probe via service mux = %q, %v; want cached bytes", data, ok)
+	}
+}

@@ -1,0 +1,150 @@
+// Package fabric turns a fleet of experiment daemons into one sweep
+// engine. A coordinator daemon shards a canonical SweepSpec into cell
+// ranges, dispatches them over HTTP to registered worker daemons
+// (htiersimd -worker -join <coordinator>), and merges the per-cell
+// results back into the exact bytes a single-process Sweep.Run marshals —
+// the per-cell determinism contract established by the facade is what
+// makes shards mergeable byte-identically, and re-execution safe.
+//
+// The moving parts:
+//
+//   - Transport (transport.go) is the RPC seam every coordinator↔worker
+//     message crosses. Production uses plain HTTP; tests inject Chaos
+//     (chaos.go), a deterministic seeded fault schedule that drops,
+//     delays, and duplicates messages so failure handling is provable,
+//     not flaky.
+//   - Coordinator (coordinator.go) owns the fleet: registration acts as
+//     heartbeat, live workers pull shards, idle workers steal in-flight
+//     cells from stragglers, a worker loss requeues its cells, and a
+//     commit table applies each cell's result at most once — sound
+//     because cells are idempotent by determinism, so speculative and
+//     duplicated executions can only ever produce the same bytes.
+//   - Worker (worker.go) executes shards cell by cell as singleton
+//     sweeps, caching each under its cell-level content address
+//     (SweepSpec.CellSpec(c).Hash()) so any daemon in the federation can
+//     serve it later.
+//
+// Cache hits route fleet-wide through the remote read-through tier of
+// jobs.Cache: workers probe the coordinator, the coordinator probes its
+// workers, and every probe is answered from local tiers only (GetLocal),
+// which is what keeps mutual probing from recursing. In-flight dedupe is
+// federation-aware at two grains: whole sweeps dedupe by spec hash in
+// jobs.Manager as before, and overlapping cells of concurrent sweeps
+// dedupe by cell hash in the coordinator's claim table, so one execution
+// feeds every waiting sweep. docs/FABRIC.md walks through the topology,
+// the failure model, and the at-most-once-commit argument.
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	hybridtier "repro"
+)
+
+// shardRequest is the body of POST /fabric/run: the full canonical sweep
+// spec plus the indices (into the spec's deterministic cell enumeration)
+// this worker should execute.
+type shardRequest struct {
+	Spec  json.RawMessage `json:"spec"`
+	Cells []int           `json:"cells"`
+}
+
+// shardCell is one executed cell of a shard response. Body is the
+// canonical singleton result: the JSON array a one-cell Sweep.Run of
+// CellSpec(c) marshals (so index 0 inside; the coordinator reindexes at
+// commit). Exactly one of Body and Err is set — Err carries a
+// deterministic runner failure, which the coordinator verifies locally
+// before failing the sweep.
+type shardCell struct {
+	Index int             `json:"index"`
+	Hash  string          `json:"hash"`
+	Body  json.RawMessage `json:"body,omitempty"`
+	Err   string          `json:"error,omitempty"`
+}
+
+// shardResponse is the body of a successful POST /fabric/run reply.
+type shardResponse struct {
+	Cells []shardCell `json:"cells"`
+}
+
+// registerRequest is the body of POST /fabric/register. Registration is
+// also the heartbeat: workers re-post it every interval, and a worker
+// whose last registration is older than the coordinator's TTL is
+// considered lost.
+type registerRequest struct {
+	URL string `json:"url"`
+}
+
+// cellPlan is the coordinator's precomputed view of one cell: its
+// coordinates, its singleton canonical spec, and the cell-level content
+// address derived from it.
+type cellPlan struct {
+	cell      hybridtier.Cell
+	spec      []byte // canonical JSON of CellSpec(cell)
+	hash      string
+	committed bool
+}
+
+// planCells parses a canonical sweep spec and derives every cell's
+// singleton spec and hash. The enumeration order is the facade's
+// policy-major Cells order — the order the merged result array must have.
+func planCells(canonical []byte) (hybridtier.SweepSpec, []cellPlan, error) {
+	var spec hybridtier.SweepSpec
+	if err := json.Unmarshal(canonical, &spec); err != nil {
+		return spec, nil, fmt.Errorf("fabric: corrupt canonical spec: %w", err)
+	}
+	sw := &hybridtier.Sweep{Policies: spec.Policies, Ratios: spec.Ratios, Seeds: spec.Seeds}
+	cells := sw.Cells()
+	plans := make([]cellPlan, len(cells))
+	for i, c := range cells {
+		single, err := spec.CellSpec(c).CanonicalJSON()
+		if err != nil {
+			return spec, nil, fmt.Errorf("fabric: cell %d of the canonical spec fails canonicalization: %w", i, err)
+		}
+		plans[i] = cellPlan{cell: c, spec: single, hash: hybridtier.HashCanonicalJSON(single)}
+	}
+	return spec, plans, nil
+}
+
+// reindexCell rewrites a canonical singleton result (a one-element JSON
+// array whose cell carries index 0) into the element bytes for position
+// idx of the merged sweep. It round-trips through the same structs and
+// the same encoder that produced the bytes, which is what makes the
+// rewrite byte-stable everywhere but the index field (pinned by test:
+// encoding/json re-marshals its own output of a fixed struct type
+// identically — shortest-round-trip floats included).
+func reindexCell(singleton []byte, idx int) ([]byte, error) {
+	var cells []hybridtier.CellResult
+	if err := json.Unmarshal(singleton, &cells); err != nil {
+		return nil, fmt.Errorf("fabric: corrupt singleton cell result: %w", err)
+	}
+	if len(cells) != 1 {
+		return nil, fmt.Errorf("fabric: singleton cell result holds %d cells, want 1", len(cells))
+	}
+	cells[0].Index = idx
+	return json.Marshal(cells[0])
+}
+
+// mergeCells assembles committed per-cell element bytes into the sweep's
+// result array — exactly the bytes json.Marshal produces for the ordered
+// []CellResult slice, because that marshaling is the elements joined by
+// commas inside brackets with no whitespace.
+func mergeCells(elements [][]byte) []byte {
+	var buf bytes.Buffer
+	size := 2
+	for _, e := range elements {
+		size += len(e) + 1
+	}
+	buf.Grow(size)
+	buf.WriteByte('[')
+	for i, e := range elements {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(e)
+	}
+	buf.WriteByte(']')
+	return buf.Bytes()
+}

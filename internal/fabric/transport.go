@@ -1,0 +1,114 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport is the fabric's RPC seam: every coordinator↔worker message —
+// registration heartbeats, shard dispatch, cache probes — crosses exactly
+// one RoundTrip, so a single injected implementation sees (and may fault)
+// the fleet's entire conversation. It is http.RoundTripper by another
+// name: production passes an *http.Transport, the chaos suite passes a
+// seeded fault injector over an in-process handler mesh.
+type Transport interface {
+	RoundTrip(*http.Request) (*http.Response, error)
+}
+
+// DefaultTransport is the production transport: plain HTTP.
+var DefaultTransport Transport = http.DefaultTransport
+
+// call performs one JSON-over-HTTP fabric exchange: POST (or GET when
+// body is nil) to url, decode the response into out (unless nil). Non-2xx
+// statuses surface as errors carrying the body's error text so the caller
+// can log why a peer refused. A nil transport falls back to
+// DefaultTransport.
+func call(ctx context.Context, t Transport, method, url string, body any, out any) error {
+	if t == nil {
+		t = DefaultTransport
+	}
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.RoundTrip(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(data, &e)
+		if e.Error == "" {
+			e.Error = fmt.Sprintf("%.120s", data)
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// StatusError is a non-2xx fabric reply: the peer answered, it just said
+// no. Distinguishing it from transport failure matters to the scheduler —
+// a refusal is deterministic and retrying another worker is pointless,
+// while a dropped message is exactly what retry exists for.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("fabric: peer returned %d: %s", e.Code, e.Msg)
+}
+
+// probeResult fetches a peer's LOCAL cache tiers for hash with a bounded
+// timeout. Misses and transport failures are both "no": a probe is an
+// optimization, never a dependency.
+func probeResult(t Transport, base, hash string, timeout time.Duration) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/fabric/result/"+hash, nil)
+	if err != nil {
+		return nil, false
+	}
+	if t == nil {
+		t = DefaultTransport
+	}
+	resp, err := t.RoundTrip(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}

@@ -1,0 +1,181 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// WorkerConfig assembles a Worker.
+type WorkerConfig struct {
+	// Self is this worker's advertised base URL — what the coordinator
+	// dials back for shards and cache probes (required).
+	Self string
+	// Coordinator is the coordinator's base URL to join (required).
+	Coordinator string
+	// Transport carries registration heartbeats (nil = DefaultTransport).
+	Transport Transport
+	// Run executes canonical singleton specs in-process (required).
+	Run jobs.Runner
+	// Cache is this daemon's result cache; executed cells are written
+	// through to it under their cell-level content address, and shard
+	// execution consults it first (which, with the remote tier installed,
+	// also probes the coordinator).
+	Cache *jobs.Cache
+	// Interval is the heartbeat period (default 2s). It must stay well
+	// under the coordinator's HeartbeatTTL or the worker flaps.
+	Interval time.Duration
+	// Log receives join/leave events; nil silences.
+	Log *log.Logger
+}
+
+// Worker is one fleet member: it joins a coordinator by heartbeating
+// POST /fabric/register, and serves shards the coordinator dispatches to
+// its advertised URL. Execution is cell-by-cell as singleton sweeps, so
+// every result it produces carries a cell-level content address the
+// whole federation can cache against.
+type Worker struct {
+	cfg WorkerConfig
+}
+
+// NewWorker builds a worker. Self, Coordinator, and Run are required.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Self == "" || cfg.Coordinator == "" {
+		panic("fabric: WorkerConfig.Self and Coordinator are required")
+	}
+	if cfg.Run == nil {
+		panic("fabric: WorkerConfig.Run is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	return &Worker{cfg: cfg}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Log != nil {
+		w.cfg.Log.Printf(format, args...)
+	}
+}
+
+// Join registers with the coordinator immediately and then re-registers
+// every Interval until ctx is done. Registration IS the heartbeat: there
+// is no separate liveness protocol, so a worker that can still reach the
+// coordinator is by definition still in the fleet. Failures log and
+// retry on the next tick — a coordinator restart heals itself.
+func (w *Worker) Join(ctx context.Context) {
+	w.register(ctx)
+	ticker := time.NewTicker(w.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			w.register(ctx)
+		}
+	}
+}
+
+func (w *Worker) register(ctx context.Context) {
+	cctx, cancel := context.WithTimeout(ctx, w.cfg.Interval)
+	defer cancel()
+	err := call(cctx, w.cfg.Transport, http.MethodPost,
+		w.cfg.Coordinator+"/fabric/register", registerRequest{URL: w.cfg.Self}, nil)
+	if err != nil && ctx.Err() == nil {
+		w.logf("fabric: register with %s failed: %v", w.cfg.Coordinator, err)
+	}
+}
+
+// ProbeCoordinator is the remote cache tier a worker daemon installs on
+// its own cache: ask the coordinator's local tiers. Combined with the
+// coordinator probing its workers, any result cached anywhere in the
+// fleet is one hop from everywhere.
+func (w *Worker) ProbeCoordinator(hash string) ([]byte, bool) {
+	return probeResult(w.cfg.Transport, w.cfg.Coordinator, hash, 250*time.Millisecond)
+}
+
+// Handler serves the worker's side of the fabric protocol:
+//
+//	POST /fabric/run           execute a shard of cells
+//	GET  /fabric/result/{hash} probe this worker's LOCAL cache tiers
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fabric/run", w.runShard)
+	mux.HandleFunc("GET /fabric/result/{hash}", func(rw http.ResponseWriter, r *http.Request) {
+		serveLocalResult(rw, r, w.cfg.Cache)
+	})
+	return mux
+}
+
+// runShard executes the requested cells one by one as singleton sweeps.
+// Each cell resolves through the cache first (memory, disk, and — via
+// the remote tier — the coordinator), runs only on a full miss, and
+// writes its result back under the cell hash. Deterministic runner
+// failures travel back as per-cell errors rather than failing the shard:
+// the coordinator decides what a failed cell means for the sweep.
+func (w *Worker) runShard(rw http.ResponseWriter, r *http.Request) {
+	var req shardRequest
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 16<<20)).Decode(&req); err != nil {
+		fabricError(rw, http.StatusBadRequest, "fabric: bad shard body: "+err.Error())
+		return
+	}
+	if len(req.Cells) == 0 {
+		fabricError(rw, http.StatusBadRequest, "fabric: shard needs at least one cell")
+		return
+	}
+	_, plans, err := planCells(req.Spec)
+	if err != nil {
+		fabricError(rw, http.StatusBadRequest, err.Error())
+		return
+	}
+	for _, i := range req.Cells {
+		if i < 0 || i >= len(plans) {
+			fabricError(rw, http.StatusBadRequest,
+				fmt.Sprintf("fabric: shard cell index %d outside the spec's %d cells", i, len(plans)))
+			return
+		}
+	}
+	resp := shardResponse{Cells: make([]shardCell, 0, len(req.Cells))}
+	for _, i := range req.Cells {
+		cell := shardCell{Index: i, Hash: plans[i].hash}
+		body, err := w.runCell(r.Context(), plans[i])
+		if err != nil {
+			if r.Context().Err() != nil {
+				// The coordinator hung up (timeout, loss, cancel); nobody is
+				// reading this response, so stop burning cycles.
+				return
+			}
+			cell.Err = err.Error()
+		} else {
+			cell.Body = body
+		}
+		resp.Cells = append(resp.Cells, cell)
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(resp)
+}
+
+// runCell resolves one cell: cache hit (any tier) or execute and cache.
+func (w *Worker) runCell(ctx context.Context, p cellPlan) ([]byte, error) {
+	if w.cfg.Cache != nil {
+		if body, ok := w.cfg.Cache.Get(p.hash); ok {
+			return body, nil
+		}
+	}
+	body, err := w.cfg.Run(ctx, p.spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	if w.cfg.Cache != nil {
+		// Same stance as commit: a disk write failure must not lose a
+		// computed result that memory already serves.
+		_ = w.cfg.Cache.Put(p.hash, body, p.spec)
+	}
+	return body, nil
+}

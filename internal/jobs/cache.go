@@ -31,6 +31,14 @@ func ValidHash(s string) bool { return hashPattern.MatchString(s) }
 //     restarts and memory eviction. SetMaxDiskBytes bounds it, evicting
 //     oldest-written result+sidecar pairs first.
 //
+// SetRemote adds an optional third, read-through tier: a fetch function
+// (in the fleet, a probe of peer daemons — internal/fabric) consulted
+// after both local tiers miss. A remote hit promotes into memory only;
+// the peer that computed the result already persists it, so writing it to
+// this disk would duplicate storage without adding durability. Peers
+// probing each other MUST answer from GetLocal, never Get, or two empty
+// caches would recurse forever.
+//
 // Because keys are content hashes of canonical specs and results are
 // deterministic, a stored value is immutable: there is no invalidation,
 // only eviction. Callers must treat returned byte slices as read-only.
@@ -43,6 +51,7 @@ type Cache struct {
 	items        map[string]*list.Element
 	dir          string
 	maxDiskBytes int64 // 0 = unbounded
+	remote       func(hash string) ([]byte, bool)
 }
 
 // cacheEntry is one resident result.
@@ -72,10 +81,23 @@ func NewCache(maxBytes int64, dir string) (*Cache, error) {
 	}, nil
 }
 
-// Get returns the result stored under hash. Memory hits refresh recency;
-// a memory miss falls back to the disk store and promotes the bytes back
-// into memory.
+// Get returns the result stored under hash, consulting every tier:
+// memory (hits refresh recency), then the disk store (hits promote back
+// into memory), then the remote tier installed by SetRemote (hits promote
+// into memory only).
 func (c *Cache) Get(hash string) ([]byte, bool) {
+	return c.get(hash, true)
+}
+
+// GetLocal is Get restricted to the local tiers (memory and disk). It is
+// the answer a daemon gives when a PEER probes it: serving probes from
+// local state only is what keeps two caches remote-probing each other
+// from recursing.
+func (c *Cache) GetLocal(hash string) ([]byte, bool) {
+	return c.get(hash, false)
+}
+
+func (c *Cache) get(hash string, remoteOK bool) ([]byte, bool) {
 	if !ValidHash(hash) {
 		return nil, false
 	}
@@ -86,18 +108,39 @@ func (c *Cache) Get(hash string) ([]byte, bool) {
 		c.mu.Unlock()
 		return data, true
 	}
+	remote := c.remote
 	c.mu.Unlock()
-	if c.dir == "" {
-		return nil, false
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.resultPath(hash)); err == nil {
+			c.mu.Lock()
+			c.insert(hash, data)
+			c.mu.Unlock()
+			return data, true
+		}
 	}
-	data, err := os.ReadFile(c.resultPath(hash))
-	if err != nil {
-		return nil, false
+	// The remote fetch runs outside mu — it is a network round trip — so
+	// concurrent Gets for different hashes never serialize behind it.
+	if remoteOK && remote != nil {
+		if data, ok := remote(hash); ok && data != nil {
+			c.mu.Lock()
+			c.insert(hash, data)
+			c.mu.Unlock()
+			return data, true
+		}
 	}
+	return nil, false
+}
+
+// SetRemote installs fetch as the cache's remote read-through tier,
+// consulted only after both local tiers miss. In the sweep fabric this is
+// how a cell computed anywhere becomes a hit everywhere: workers probe
+// the coordinator, the coordinator probes its workers. fetch must be safe
+// for concurrent use and must answer peers' probes from GetLocal (see the
+// type comment). nil uninstalls the tier.
+func (c *Cache) SetRemote(fetch func(hash string) ([]byte, bool)) {
 	c.mu.Lock()
-	c.insert(hash, data)
+	c.remote = fetch
 	c.mu.Unlock()
-	return data, true
 }
 
 // Put stores result under hash, writing through to the disk store when

@@ -2,9 +2,11 @@ package jobs
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -238,5 +240,95 @@ func TestCacheDiskGC(t *testing.T) {
 	got = onDisk()
 	if !got[h6+".json"] {
 		t.Fatal("the newest entry must survive any budget")
+	}
+}
+
+// TestCacheDiskGCRacesConcurrentPutGet hammers a tightly-budgeted disk
+// store from writers, readers, and budget changes at once. gcDisk deletes
+// files other goroutines are reading and re-writing; under -race this
+// pins that the cache stays coherent: a Get either misses or returns
+// EXACTLY the bytes put under that hash — never a torn or foreign value —
+// and no Put/Remove interleaving wedges an error or leaks a temp file.
+func TestCacheDiskGCRacesConcurrentPutGet(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny memory tier forces most Gets through the disk path that GC is
+	// concurrently deleting from.
+	c, err := NewCache(64, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nHashes = 8
+	hashes := make([]string, nHashes)
+	payloads := make([][]byte, nHashes)
+	for i := range hashes {
+		hashes[i] = hashOf(fmt.Sprint("race-", i))
+		payloads[i] = []byte(fmt.Sprintf(`[{"cell":%d,"pad":%q}]`, i, strings.Repeat("p", 50+i)))
+	}
+	pair := int64(len(payloads[0]) + 2)
+	c.SetMaxDiskBytes(2 * pair) // budget for ~2 entries: every Put overflows
+
+	const iters = 150
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (i + g) % nHashes
+				if err := c.Put(hashes[k], payloads[k], []byte("{}")); err != nil {
+					t.Errorf("concurrent Put: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (i*3 + g) % nHashes
+				if data, ok := c.Get(hashes[k]); ok && !bytes.Equal(data, payloads[k]) {
+					t.Errorf("Get(%s) returned corrupt bytes %q", hashes[k][:8], data)
+					return
+				}
+			}
+		}(g)
+	}
+	// A third hand re-tightens the budget, forcing full GC scans that race
+	// the writers' own post-Put scans.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/10; i++ {
+			c.SetMaxDiskBytes(pair)
+			c.SetMaxDiskBytes(4 * pair)
+		}
+	}()
+	wg.Wait()
+
+	// The store settles coherent: re-put entries serve their exact bytes,
+	// and the directory holds only well-formed names (no temp leaks).
+	for i, h := range hashes {
+		if err := c.Put(h, payloads[i], []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if data, ok := c.Get(hashes[nHashes-1]); !ok || !bytes.Equal(data, payloads[nHashes-1]) {
+		t.Error("freshly re-put entry does not serve after the storm")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if _, ok := cutSuffixHash(name, ".spec.json"); ok {
+			continue
+		}
+		if _, ok := cutSuffixHash(name, ".json"); ok {
+			continue
+		}
+		t.Errorf("stray file %q left in the store after concurrent GC", name)
 	}
 }

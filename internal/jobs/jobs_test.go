@@ -398,6 +398,68 @@ func TestRetainJobsBoundsMemory(t *testing.T) {
 	}
 }
 
+// TestEventReplayOutlivesJobEviction: a subscriber holding a *Job handle
+// can replay the full event stream — from any offset, including past the
+// end — even after RetainJobs pruned the job from the manager's table.
+// Eviction forgets the ID, not the history a live handle points at; a
+// consumer that only remembered the ID must re-fetch by content hash.
+func TestEventReplayOutlivesJobEviction(t *testing.T) {
+	cache, err := NewCache(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{
+		Workers:    1,
+		RetainJobs: 1,
+		Cache:      cache,
+		Run: func(ctx context.Context, spec []byte, progress func(done, total int)) ([]byte, error) {
+			progress(1, 1)
+			return []byte(`["evict-me"]`), nil
+		},
+	})
+	defer m.Drain(context.Background())
+
+	j, _, err := m.Submit(hashOf("evicted"), []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := waitTerminal(t, j)
+
+	// Push enough newer jobs through that pruning must drop the first.
+	for i := 0; i < 4; i++ {
+		jn, _, err := m.Submit(hashOf(fmt.Sprint("filler-", i)), []byte("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, jn)
+	}
+	if _, ok := m.Get(j.ID()); ok {
+		t.Fatal("precondition: the first job should have been pruned")
+	}
+
+	// Full replay from zero on the retained handle, identical to the live
+	// stream, delivered terminal in one call.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	replay, terminal, err := j.Next(ctx, 0)
+	if err != nil || !terminal {
+		t.Fatalf("replay after eviction: terminal=%v err=%v", terminal, err)
+	}
+	if fmt.Sprint(replay) != fmt.Sprint(history) {
+		t.Errorf("replayed events differ from the live stream:\n got %v\nwant %v", replay, history)
+	}
+	// Resuming PAST the end of a terminal stream ends cleanly: no events,
+	// terminal true, no error, no block.
+	past, terminal, err := j.Next(ctx, len(history)+50)
+	if len(past) != 0 || !terminal || err != nil {
+		t.Errorf("Next past the end = (%v, %v, %v), want (none, true, nil)", past, terminal, err)
+	}
+	// The evicted job's result is still addressable by content.
+	if data, ok := m.Result(hashOf("evicted")); !ok || string(data) != `["evict-me"]` {
+		t.Errorf("evicted job's result = %q, %v; want the cached bytes", data, ok)
+	}
+}
+
 func TestNextHonorsContext(t *testing.T) {
 	m := NewManager(Config{
 		Workers: 1,

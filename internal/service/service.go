@@ -47,6 +47,14 @@ type Config struct {
 	Corpus *corpus.Store
 	// MaxTraceBytes bounds one trace upload (0 = defaultMaxTraceBytes).
 	MaxTraceBytes int64
+	// Fabric, when non-nil, is mounted under /fabric/ — the coordinator's
+	// or worker's side of the sweep fabric protocol (internal/fabric). The
+	// fabric handler registers full /fabric/... patterns, so no prefix is
+	// stripped.
+	Fabric http.Handler
+	// Fleet, when non-nil, contributes a "fleet" section to /healthz —
+	// the coordinator's fabric.FleetStatus snapshot.
+	Fleet func() any
 	// Log receives one line per request outcome; nil silences.
 	Log *log.Logger
 }
@@ -86,6 +94,7 @@ type handler struct {
 	m        *jobs.Manager
 	corpus   *corpus.Store
 	maxTrace int64
+	fleet    func() any
 	log      *log.Logger
 }
 
@@ -103,13 +112,17 @@ type handler struct {
 //	GET    /traces           list stored traces
 //	GET    /traces/{hash}        one trace's metadata
 //	GET    /traces/{hash}/bytes  the stored trace bytes, verbatim
+//	       /fabric/...           sweep-fabric protocol, when Config.Fabric is set (docs/FABRIC.md)
 func NewHandler(cfg Config) http.Handler {
 	maxTrace := cfg.MaxTraceBytes
 	if maxTrace <= 0 {
 		maxTrace = defaultMaxTraceBytes
 	}
-	h := &handler{m: cfg.Manager, corpus: cfg.Corpus, maxTrace: maxTrace, log: cfg.Log}
+	h := &handler{m: cfg.Manager, corpus: cfg.Corpus, maxTrace: maxTrace, fleet: cfg.Fleet, log: cfg.Log}
 	mux := http.NewServeMux()
+	if cfg.Fabric != nil {
+		mux.Handle("/fabric/", cfg.Fabric)
+	}
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /workloads", h.workloads)
 	mux.HandleFunc("POST /jobs", h.submit)
@@ -157,6 +170,9 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if h.corpus != nil {
 		body["traces"] = h.corpus.Len()
+	}
+	if h.fleet != nil {
+		body["fleet"] = h.fleet()
 	}
 	h.reply(w, http.StatusOK, body)
 }

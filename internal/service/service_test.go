@@ -11,6 +11,7 @@ package service
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -484,6 +485,72 @@ func TestEventsResumeFrom(t *testing.T) {
 		return r.StatusCode
 	}(); code != http.StatusBadRequest {
 		t.Errorf("bad from parameter: %d, want 400", code)
+	}
+}
+
+// TestEventsReplayAcrossEviction: a consumer resuming a long-gone job
+// sees a clean 404 (the ID is forgotten, the result hash still serves),
+// while resuming a RETAINED terminal job from past its last event gets an
+// empty 200 stream — the terminal state already happened, nothing blocks.
+func TestEventsReplayAcrossEviction(t *testing.T) {
+	cache, err := jobs.NewCache(64<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := &countingRunner{}
+	m := jobs.NewManager(jobs.Config{Workers: 1, RetainJobs: 1, Run: cr.runner(), Cache: cache})
+	srv := httptest.NewServer(NewHandler(Config{Manager: m}))
+	t.Cleanup(func() {
+		srv.Close()
+		Drain(m, 30*time.Second)
+	})
+
+	_, first := submit(t, srv, testSpec())
+	firstID, firstHash := first["id"].(string), first["hash"].(string)
+	streamEvents(t, srv, firstID)
+
+	// Newer distinct sweeps push the first job out of the table.
+	var lastID string
+	var lastLen int
+	for i := 0; i < 4; i++ {
+		spec := testSpec()
+		spec.Seeds = []uint64{uint64(10 + i)}
+		_, resp := submit(t, srv, spec)
+		lastID = resp["id"].(string)
+		lastLen = len(streamEvents(t, srv, lastID))
+	}
+
+	// The evicted ID is gone from the events route with the pinned error...
+	resp, err := http.Get(srv.URL + "/jobs/" + firstID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || derr != nil || e.Error != "unknown job "+firstID {
+		t.Errorf("evicted job events: status %d error %q, want 404 %q", resp.StatusCode, e.Error, "unknown job "+firstID)
+	}
+	// ...but its result still serves by content hash.
+	if body := fetchResult(t, srv, firstHash); len(body) == 0 {
+		t.Error("evicted job's result no longer serves by hash")
+	}
+
+	// A retained terminal job, resumed far past its stream's end: 200,
+	// empty body, connection closes instead of blocking.
+	resp, err = http.Get(srv.URL + "/jobs/" + lastID + "/events?from=" + fmt.Sprint(lastLen+100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("resume past end: status %d, want 200", resp.StatusCode)
+	}
+	if len(bytes.TrimSpace(body)) != 0 {
+		t.Errorf("resume past end streamed %q, want an empty terminal stream", body)
 	}
 }
 

@@ -239,6 +239,21 @@ func (s SweepSpec) Sweep() (*Sweep, error) {
 	}, nil
 }
 
+// CellSpec returns the singleton spec of cell c: the same workload,
+// params, and execution-irrelevant knobs, with the sweep axes narrowed to
+// the cell's coordinates. Because cells are independent and deterministic,
+// a singleton sweep of CellSpec(c) produces exactly the cell's Result —
+// which makes CellSpec's Hash the cell-level content address the sweep
+// fabric (internal/fabric) shards, caches, and dedupes by: a cell computed
+// for one sweep is a cache hit for every other sweep that contains it.
+func (s SweepSpec) CellSpec(c Cell) SweepSpec {
+	out := s
+	out.Policies = []PolicyName{c.Policy}
+	out.Ratios = []int{c.Ratio}
+	out.Seeds = []uint64{c.Seed}
+	return out
+}
+
 // NormalizeWorkload returns the canonical spelling of a workload name or
 // composition spec (registry normalization re-exported): whitespace
 // stripped, mix weights explicit, nesting parenthesized exactly once.
