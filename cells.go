@@ -1,0 +1,101 @@
+package hybridtier
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the facade's per-cell plumbing: helpers that let callers
+// (the sweep fabric in internal/fabric, the crash-safe cell runner in
+// internal/service) treat a sweep as content-addressed cells. The
+// contract they all lean on: a singleton sweep of CellSpec(c) produces
+// exactly cell c's Result, and encoding/json re-marshals its own output
+// of a fixed struct type identically — so per-cell bytes computed
+// anywhere (a worker, a resumed daemon, a cache) merge back into the
+// byte-identical whole-sweep result.
+
+// CellPlan is one cell of a planned sweep: its coordinates, its
+// canonical singleton spec, and the cell-level content address derived
+// from it. Plans are what the fabric shards across workers and what the
+// cell runner probes the result cache with.
+type CellPlan struct {
+	Cell Cell
+	// Spec is the canonical JSON of CellSpec(Cell).
+	Spec []byte
+	// Hash is HashCanonicalJSON(Spec) — the cell's content address.
+	Hash string
+}
+
+// CellPlans parses a canonical sweep spec and derives every cell's
+// singleton spec and content address, in the facade's policy-major Cells
+// order — the order the merged result array must have.
+func CellPlans(canonical []byte) (SweepSpec, []CellPlan, error) {
+	var spec SweepSpec
+	if err := json.Unmarshal(canonical, &spec); err != nil {
+		return spec, nil, fmt.Errorf("hybridtier: corrupt canonical spec: %w", err)
+	}
+	sw := &Sweep{Policies: spec.Policies, Ratios: spec.Ratios, Seeds: spec.Seeds}
+	cells := sw.Cells()
+	plans := make([]CellPlan, len(cells))
+	for i, c := range cells {
+		single, err := spec.CellSpec(c).CanonicalJSON()
+		if err != nil {
+			return spec, nil, fmt.Errorf("hybridtier: cell %d of the canonical spec fails canonicalization: %w", i, err)
+		}
+		plans[i] = CellPlan{Cell: c, Spec: single, Hash: HashCanonicalJSON(single)}
+	}
+	return spec, plans, nil
+}
+
+// MarshalSingletonCell renders a completed cell as the canonical
+// singleton result bytes: the JSON array a one-cell Sweep.Run of
+// CellSpec(cr.Cell) would marshal. The cell's index is rewritten to 0 —
+// inside a singleton sweep the cell IS position 0 — which is what makes
+// the bytes cacheable under the cell's content address regardless of
+// where the cell sat in its parent sweep.
+func MarshalSingletonCell(cr CellResult) ([]byte, error) {
+	cr.Index = 0
+	return json.Marshal([]CellResult{cr})
+}
+
+// ReindexCellJSON rewrites a canonical singleton result (a one-element
+// JSON array whose cell carries index 0) into the element bytes for
+// position idx of the merged sweep. It round-trips through the same
+// structs and the same encoder that produced the bytes, which is what
+// makes the rewrite byte-stable everywhere but the index field (pinned by
+// test: encoding/json re-marshals its own output of a fixed struct type
+// identically — shortest-round-trip floats included).
+func ReindexCellJSON(singleton []byte, idx int) ([]byte, error) {
+	var cells []CellResult
+	if err := json.Unmarshal(singleton, &cells); err != nil {
+		return nil, fmt.Errorf("hybridtier: corrupt singleton cell result: %w", err)
+	}
+	if len(cells) != 1 {
+		return nil, fmt.Errorf("hybridtier: singleton cell result holds %d cells, want 1", len(cells))
+	}
+	cells[0].Index = idx
+	return json.Marshal(cells[0])
+}
+
+// MergeCellJSON assembles reindexed per-cell element bytes into the
+// sweep's result array — exactly the bytes json.Marshal produces for the
+// ordered []CellResult slice, because that marshaling is the elements
+// joined by commas inside brackets with no whitespace.
+func MergeCellJSON(elements [][]byte) []byte {
+	var buf bytes.Buffer
+	size := 2
+	for _, e := range elements {
+		size += len(e) + 1
+	}
+	buf.Grow(size)
+	buf.WriteByte('[')
+	for i, e := range elements {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(e)
+	}
+	buf.WriteByte(']')
+	return buf.Bytes()
+}

@@ -11,11 +11,13 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"strings"
+	"syscall"
 	"time"
 
 	hybridtier "repro"
@@ -24,9 +26,10 @@ import (
 )
 
 // A 503 from POST /jobs is transient by design — the daemon is draining
-// for restart or its queue is momentarily full — so the client retries
-// with capped exponential backoff before giving up. The knobs are
-// variables so the retry test runs in milliseconds.
+// for restart or its queue is momentarily full — and so is a connection
+// the daemon's restart window refuses or drops, so the client retries
+// both with capped exponential backoff before giving up. The knobs are
+// variables so the retry tests run in milliseconds.
 var (
 	submitRetries     = 5
 	submitBackoffBase = 200 * time.Millisecond
@@ -34,25 +37,41 @@ var (
 	submitSleep       = time.Sleep
 )
 
-// postJob submits the spec, retrying transient 503s. It returns the
-// first non-503 response, or the final 503 once retries are exhausted —
-// the caller's status handling sees exactly what a single post would.
+// retryableDialError classifies transport failures a daemon restart
+// explains: nothing listening yet (refused), a connection torn down by
+// the exiting process (reset), or one dropped mid-exchange (EOF).
+// Anything else — bad URL, DNS, TLS — is permanent and surfaces at once.
+func retryableDialError(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// postJob submits the spec, retrying transient 503s and restart-window
+// connection failures on one shared backoff schedule. It returns the
+// first non-transient response, or the final 503/error once retries are
+// exhausted — the caller's handling sees exactly what a single post
+// would.
 func postJob(base string, body []byte, stderr io.Writer) (*http.Response, error) {
 	backoff := submitBackoffBase
 	for attempt := 0; ; attempt++ {
 		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
+		switch {
+		case err != nil && (!retryableDialError(err) || attempt >= submitRetries):
 			return nil, err
-		}
-		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= submitRetries {
+		case err != nil:
+			fmt.Fprintf(stderr, "htiersim: daemon unreachable (%v); retrying in %s\n", err, backoff)
+		case resp.StatusCode != http.StatusServiceUnavailable || attempt >= submitRetries:
 			return resp, nil
+		default:
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			resp.Body.Close()
+			fmt.Fprintf(stderr, "htiersim: daemon unavailable (%s); retrying in %s\n", e.Error, backoff)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		resp.Body.Close()
-		fmt.Fprintf(stderr, "htiersim: daemon unavailable (%s); retrying in %s\n", e.Error, backoff)
 		submitSleep(backoff)
 		backoff *= 2
 		if backoff > submitBackoffCap {

@@ -7,6 +7,7 @@ package main
 
 import (
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -109,10 +110,74 @@ func TestSubmitRejectionsAndConflicts(t *testing.T) {
 		}
 	}
 
-	// No daemon listening: a transport failure, not a usage error.
+	// No daemon listening: connection refused is retried on the full
+	// schedule (a restart window), then surfaces as a transport failure —
+	// exit 1, not a usage error.
+	sleeps := recordSleeps(t)
 	code, _, stderr = runCLI(t, "-workload", "zipf", "-submit", "http://127.0.0.1:1")
 	if code != 1 {
 		t.Errorf("unreachable daemon: exit %d (%s), want 1", code, stderr)
+	}
+	if len(*sleeps) != submitRetries {
+		t.Errorf("refused connection retried %d times (%v), want %d", len(*sleeps), *sleeps, submitRetries)
+	}
+	if !strings.Contains(stderr, "daemon unreachable") {
+		t.Errorf("stderr lacks the unreachable notice: %q", stderr)
+	}
+}
+
+// TestSubmitRetriesConnectionRefusedThenSucceeds: the daemon's port
+// refuses connections (the process is restarting), comes back during the
+// backoff, and the submission carries through to a normal exit-0 run —
+// with the schedule's first two steps pinned at 200ms and 400ms.
+func TestSubmitRetriesConnectionRefusedThenSucceeds(t *testing.T) {
+	cache, err := jobs.NewCache(16<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jobs.NewManager(jobs.Config{Workers: 1, Run: service.Runner(2), Cache: cache})
+	t.Cleanup(func() { service.Drain(m, 30*time.Second) })
+	handler := service.NewHandler(service.Config{Manager: m})
+
+	// Reserve an address, then free it: until the "restart" below, every
+	// dial is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var sleeps []time.Duration
+	orig := submitSleep
+	submitSleep = func(d time.Duration) {
+		sleeps = append(sleeps, d)
+		if len(sleeps) == 2 {
+			// The daemon finishes restarting on the same port.
+			ln2, err := net.Listen("tcp", addr)
+			if err != nil {
+				t.Errorf("rebind %s: %v", addr, err)
+				return
+			}
+			srv := &http.Server{Handler: handler}
+			go srv.Serve(ln2)
+			t.Cleanup(func() { srv.Close() })
+		}
+	}
+	t.Cleanup(func() { submitSleep = orig })
+
+	code, _, stderr := runCLI(t,
+		"-workload", "zipf", "-policy", "LRU",
+		"-scale", "tiny", "-ops", "2000",
+		"-submit", "http://"+addr)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 once the daemon returns: %s", code, stderr)
+	}
+	if want := []time.Duration{200 * time.Millisecond, 400 * time.Millisecond}; len(sleeps) != 2 || sleeps[0] != want[0] || sleeps[1] != want[1] {
+		t.Errorf("backoff schedule = %v, want %v", sleeps, want)
+	}
+	if !strings.Contains(stderr, "daemon unreachable") || !strings.Contains(stderr, "retrying in 200ms") {
+		t.Errorf("stderr lacks the unreachable retry notice: %q", stderr)
 	}
 }
 

@@ -12,6 +12,7 @@
 //	htiersimd [-addr :8080] [-jobs 2] [-sweep-workers 0] [-queue 64]
 //	          [-cache-mb 256] [-cache-dir DIR] [-cache-disk-mb 0]
 //	          [-corpus-dir DIR] [-max-trace-mb 1024] [-drain-timeout 1m]
+//	          [-journal FILE] [-scrub-interval 0]
 //	          [-worker -join URL [-advertise URL]]
 //
 // Submit work with htiersim -submit http://host:8080 (plus the usual
@@ -25,6 +26,17 @@
 // on-disk result store, which survives restarts: a resubmitted spec is
 // served from disk without re-running; -cache-disk-mb bounds that store,
 // evicting oldest results first (0 = unbounded).
+//
+// A daemon with a -cache-dir is crash-safe (docs/DURABILITY.md): jobs
+// are journaled to <cache-dir>/journal.wal (relocatable with -journal),
+// so a killed daemon resubmits its queued and running sweeps on restart —
+// and because every completed cell was written through to the result
+// store as it finished, the resumed sweeps re-run only the cells the
+// crash lost, producing byte-identical results. -scrub-interval starts a
+// background integrity pass over the result store and the trace corpus
+// at that period (0 = off): entries whose bytes no longer match their
+// content address are quarantined, never served, and the latest pass is
+// reported in /healthz's "integrity" section.
 //
 // -corpus-dir roots the content-addressed trace corpus behind POST
 // /traces and corpus:<hash> workloads. When the flag is empty the daemon
@@ -61,6 +73,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -103,6 +116,8 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 	corpusDir := fs.String("corpus-dir", "", "trace corpus directory (empty = private temp dir, lost at exit)")
 	maxTraceMB := fs.Int64("max-trace-mb", 1024, "largest accepted trace upload, megabytes")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long running jobs may finish after SIGTERM")
+	journalPath := fs.String("journal", "", "job journal file (default: <cache-dir>/journal.wal; empty cache-dir disables)")
+	scrubInterval := fs.Duration("scrub-interval", 0, "period between store integrity scrubs (0 = off)")
 	workerMode := fs.Bool("worker", false, "join a sweep fabric as a worker instead of coordinating one")
 	join := fs.String("join", "", "coordinator base URL to register with (worker mode)")
 	advertise := fs.String("advertise", "", "base URL the coordinator dials back (default: loopback + listen port)")
@@ -154,12 +169,42 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		return 1
 	}
 
+	// The job journal makes restarts resume instead of forget. It defaults
+	// on whenever results are durable (-cache-dir) because the two
+	// guarantees compose: the journal re-lists finished jobs and resubmits
+	// interrupted ones, and the cell runner below serves their already-
+	// computed cells from the store.
+	jpath := *journalPath
+	if jpath == "" && *cacheDir != "" {
+		jpath = filepath.Join(*cacheDir, "journal.wal")
+	}
+	var journal *jobs.Journal
+	var resume []jobs.Record
+	if jpath != "" {
+		journal, resume, err = jobs.OpenJournal(jpath, nil)
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		defer journal.Close()
+		if len(resume) > 0 {
+			logger.Printf("journal %s: replaying %d records", jpath, len(resume))
+		}
+	}
+
 	// Fabric role. A plain daemon coordinates: its jobs run through the
 	// fleet scheduler, which degrades to the exact single-process path
 	// while no workers are registered. -worker flips the daemon to the
 	// other side of the protocol: execute shards, heartbeat the
 	// coordinator, and read through its cache.
-	runner := service.Runner(*sweepWorkers)
+	//
+	// The local runner is the crash-safe cell runner: each completed cell
+	// is written through to the cache as it finishes, and a sweep whose
+	// cells are partially cached (a resumed job, or an overlap with an
+	// earlier sweep) runs only the missing ones. It backs both roles —
+	// the coordinator's no-worker/corpus fallback and the worker's shard
+	// execution both route through it.
+	runner := service.CellRunner(*sweepWorkers, cache)
 	var fabricHandler http.Handler
 	var fleet func() any
 	if *workerMode || *join != "" {
@@ -199,7 +244,49 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		QueueDepth: *queueDepth,
 		Run:        runner,
 		Cache:      cache,
+		Journal:    journal,
+		Resume:     resume,
 	})
+
+	// The background scrubber re-verifies every stored result and trace
+	// against its content address; /healthz reports the latest pass and
+	// the journal's write health either way.
+	if *scrubInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(*scrubInterval)
+			defer ticker.Stop()
+			for {
+				crep := cache.Scrub()
+				trep := store.Scrub()
+				if crep.Quarantined+crep.Errors+trep.Quarantined+trep.Errors > 0 {
+					logger.Printf("scrub: results %+v; traces %+v", crep, trep)
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+			}
+		}()
+	}
+	integrity := func() any {
+		body := map[string]any{}
+		if rep, ok := cache.LastScrub(); ok {
+			body["results"] = rep
+		}
+		if rep, ok := store.LastScrub(); ok {
+			body["traces"] = rep
+		}
+		if journal != nil {
+			j := map[string]any{"path": journal.Path(), "healthy": journal.Err() == nil}
+			if err := journal.Err(); err != nil {
+				j["error"] = err.Error()
+			}
+			body["journal"] = j
+		}
+		return body
+	}
+
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: service.NewHandler(service.Config{
@@ -208,6 +295,7 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 			MaxTraceBytes: *maxTraceMB << 20,
 			Fabric:        fabricHandler,
 			Fleet:         fleet,
+			Integrity:     integrity,
 			Log:           logger,
 		}),
 	}

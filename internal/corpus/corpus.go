@@ -8,9 +8,14 @@
 //
 // The disk layout mirrors the jobs result cache: one <hash>.htrc holding
 // the trace bytes verbatim, plus a <hash>.meta.json sidecar with the
-// decoded header and counts for listings. Writes are staged in a temp
-// file and renamed into place, so a crashed upload never leaves a
-// half-written trace that a later replay would open.
+// decoded header and counts for listings. Writes go through
+// internal/errfs with the full fsync/rename discipline, so a crashed
+// upload never leaves a half-written trace that a later replay would
+// open; because a trace's address IS the hash of its bytes, every entry
+// is self-verifying — reads re-check it, and entries that fail move to a
+// quarantine/ sidecar dir instead of being served (docs/DURABILITY.md).
+// A quarantined trace heals on re-upload: content addressing makes the
+// replacement byte-identical by construction.
 package corpus
 
 import (
@@ -25,7 +30,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/errfs"
 	"repro/internal/tracefile"
 )
 
@@ -35,6 +42,11 @@ var hashPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
 // ValidHash reports whether s is a well-formed trace content hash.
 func ValidHash(s string) bool { return hashPattern.MatchString(s) }
+
+// QuarantineDir is the sidecar directory (under the store root) holding
+// entries that failed verification — preserved for diagnosis, invisible
+// to serving, skipped by every scan.
+const QuarantineDir = "quarantine"
 
 // Meta describes one stored trace: its address, size, and the decoded
 // header and counts, so listings and submit-time checks never reopen the
@@ -62,34 +74,55 @@ type Meta struct {
 // mutex guards only the in-memory index. All methods are safe for
 // concurrent use.
 type Store struct {
-	dir   string
+	dir  string
+	fsys errfs.FS
+
 	mu    sync.RWMutex
 	index map[string]Meta
+	// verified memoizes Path's full-content hash check per process: a
+	// trace that verified once cannot rot in the index's lifetime view
+	// without a scrub noticing, and replays open traces repeatedly.
+	verified  map[string]bool
+	lastScrub *ScrubReport
 }
 
 // Open opens (creating if needed) the store rooted at dir and indexes the
 // traces already present. A sidecar whose hash does not match its file
-// name, or whose trace file is missing, is skipped with an error — the
-// store stays usable; the damaged entry is just invisible.
+// name or fails to parse is skipped; an indexed trace whose file size
+// disagrees with its sidecar (a truncated or padded .htrc) is quarantined
+// instead of indexed — the store stays usable; the damaged entry is just
+// invisible until re-uploaded.
 func Open(dir string) (*Store, error) {
+	return OpenFS(dir, nil)
+}
+
+// OpenFS is Open with an explicit filesystem — the fault-injection seam.
+// nil fsys means the real disk.
+func OpenFS(dir string, fsys errfs.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("corpus: store dir must not be empty")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = errfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("corpus: store dir: %w", err)
 	}
-	s := &Store{dir: dir, index: map[string]Meta{}}
-	entries, err := os.ReadDir(dir)
+	s := &Store{dir: dir, fsys: fsys, index: map[string]Meta{}, verified: map[string]bool{}}
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: scan %s: %w", dir, err)
 	}
 	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
 		name := e.Name()
 		hash, ok := strings.CutSuffix(name, ".meta.json")
 		if !ok || !ValidHash(hash) {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, name))
+		data, err := fsys.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			continue
 		}
@@ -97,7 +130,15 @@ func Open(dir string) (*Store, error) {
 		if json.Unmarshal(data, &m) != nil || m.Hash != hash {
 			continue
 		}
-		if _, err := os.Stat(s.tracePath(hash)); err != nil {
+		info, err := fsys.Stat(s.tracePath(hash))
+		if err != nil {
+			continue
+		}
+		if info.Size() != m.SizeBytes {
+			// The cheap truncation check: the bytes on disk cannot hash to
+			// the address if even their length is wrong. Quarantine now
+			// rather than fail a replay later.
+			s.quarantine(hash)
 			continue
 		}
 		s.index[hash] = m
@@ -136,34 +177,153 @@ func (s *Store) List() []Meta {
 }
 
 // Path returns the on-disk trace file for hash, for callers that open the
-// bytes directly (the registry resolver, the bytes endpoint).
+// bytes directly (the registry resolver, the bytes endpoint). The first
+// Path per process re-hashes the file and verifies it against the
+// address; a mismatch quarantines the entry and returns an error, so a
+// replay can never run over silently corrupted trace bytes. Later calls
+// reuse the verification.
 func (s *Store) Path(hash string) (string, error) {
 	if !ValidHash(hash) {
 		return "", fmt.Errorf("corpus: invalid trace hash %q", hash)
 	}
 	s.mu.RLock()
 	_, ok := s.index[hash]
+	done := s.verified[hash]
 	s.mu.RUnlock()
 	if !ok {
 		return "", fmt.Errorf("corpus: trace %s not in store", hash)
 	}
+	if done {
+		return s.tracePath(hash), nil
+	}
+	if err := s.verify(hash); err != nil {
+		return "", err
+	}
 	return s.tracePath(hash), nil
+}
+
+// verify re-hashes a stored trace against its address, memoizing success
+// and quarantining failure.
+func (s *Store) verify(hash string) error {
+	data, err := s.fsys.ReadFile(s.tracePath(hash))
+	if err != nil {
+		return fmt.Errorf("corpus: read trace %s: %w", hash, err)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != hash {
+		s.mu.Lock()
+		delete(s.index, hash)
+		delete(s.verified, hash)
+		s.mu.Unlock()
+		s.quarantine(hash)
+		return fmt.Errorf("corpus: trace %s failed integrity verification and was quarantined; re-upload to heal", hash)
+	}
+	s.mu.Lock()
+	s.verified[hash] = true
+	s.mu.Unlock()
+	return nil
+}
+
+// quarantine moves a damaged entry's files under quarantine/ —
+// best-effort, off the serving path, never silently deleted.
+func (s *Store) quarantine(hash string) {
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	if err := s.fsys.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	for _, name := range []string{hash + ".htrc", hash + ".meta.json"} {
+		src := filepath.Join(s.dir, name)
+		if _, err := s.fsys.Stat(src); err != nil {
+			continue
+		}
+		_ = s.fsys.Rename(src, filepath.Join(qdir, name))
+	}
+	_ = s.fsys.SyncDir(s.dir)
+}
+
+// ScrubReport summarizes one integrity pass, JSON-shaped for /healthz.
+type ScrubReport struct {
+	Scanned     int   `json:"scanned"`
+	Verified    int   `json:"verified"`
+	Quarantined int   `json:"quarantined,omitempty"`
+	Errors      int   `json:"errors,omitempty"`
+	UnixNs      int64 `json:"unix_ns"`
+}
+
+// Scrub re-hashes every indexed trace against its address, quarantining
+// (and de-indexing) any that fail. The quarantine dir and non-store files
+// are never touched. Returns the pass's report, also retrievable via
+// LastScrub.
+func (s *Store) Scrub() ScrubReport {
+	var rep ScrubReport
+	s.mu.RLock()
+	hashes := make([]string, 0, len(s.index))
+	for h := range s.index {
+		hashes = append(hashes, h)
+	}
+	s.mu.RUnlock()
+	sort.Strings(hashes)
+	for _, h := range hashes {
+		rep.Scanned++
+		data, err := s.fsys.ReadFile(s.tracePath(h))
+		if err != nil {
+			if !os.IsNotExist(err) { // vanished = concurrent re-open raced
+				rep.Errors++
+			}
+			continue
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != h {
+			s.mu.Lock()
+			delete(s.index, h)
+			delete(s.verified, h)
+			s.mu.Unlock()
+			s.quarantine(h)
+			rep.Quarantined++
+			continue
+		}
+		s.mu.Lock()
+		s.verified[h] = true
+		s.mu.Unlock()
+		rep.Verified++
+	}
+	rep.UnixNs = time.Now().UnixNano()
+	s.mu.Lock()
+	s.lastScrub = &rep
+	s.mu.Unlock()
+	return rep
+}
+
+// LastScrub returns the most recent Scrub report, if any pass has run.
+func (s *Store) LastScrub() (ScrubReport, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.lastScrub == nil {
+		return ScrubReport{}, false
+	}
+	return *s.lastScrub, true
 }
 
 // Put stores the trace read from r, returning its metadata and whether
 // the store grew (false = the trace was already present; content
 // addressing makes re-uploads idempotent). The bytes are staged to a temp
 // file while the hash accumulates, then verified as a complete, non-empty
-// trace (any version Stat reads) before the rename publishes them —
-// corrupt or truncated uploads never enter the index.
+// trace (any version Stat reads) before the fsync'd rename publishes them
+// — corrupt or truncated uploads never enter the index, and a crash at
+// any point leaves either the old store or the complete new entry.
 func (s *Store) Put(r io.Reader) (Meta, bool, error) {
-	tmp, err := os.CreateTemp(s.dir, ".upload-*")
+	tmp, err := s.fsys.CreateTemp(s.dir, ".upload-*")
 	if err != nil {
 		return Meta{}, false, fmt.Errorf("corpus: stage upload: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer s.fsys.Remove(tmp.Name())
 	h := sha256.New()
 	size, err := io.Copy(io.MultiWriter(tmp, h), r)
+	if err == nil {
+		// Data must be on stable storage BEFORE the rename publishes the
+		// name, or a power cut could leave a published-but-empty trace.
+		err = tmp.Sync()
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
@@ -212,14 +372,20 @@ func (s *Store) Put(r io.Reader) (Meta, bool, error) {
 		// redundant by construction.
 		return prev, false, nil
 	}
-	if err := os.Rename(tmp.Name(), s.tracePath(hash)); err != nil {
+	if err := s.fsys.Rename(tmp.Name(), s.tracePath(hash)); err != nil {
 		return Meta{}, false, fmt.Errorf("corpus: publish trace: %w", err)
 	}
-	if err := writeAtomic(s.metaPath(hash), metaJSON); err != nil {
-		os.Remove(s.tracePath(hash))
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		return Meta{}, false, fmt.Errorf("corpus: publish trace: %w", err)
+	}
+	if err := errfs.WriteAtomic(s.fsys, s.metaPath(hash), metaJSON); err != nil {
+		s.fsys.Remove(s.tracePath(hash))
 		return Meta{}, false, fmt.Errorf("corpus: publish meta: %w", err)
 	}
 	s.index[hash] = m
+	// The bytes just hashed to this address through the staging writer;
+	// no need to re-read them on first Path.
+	s.verified[hash] = true
 	return m, true, nil
 }
 
@@ -239,27 +405,4 @@ func (s *Store) tracePath(hash string) string {
 
 func (s *Store) metaPath(hash string) string {
 	return filepath.Join(s.dir, hash+".meta.json")
-}
-
-// writeAtomic writes data via a temp file + rename, mirroring the jobs
-// cache: a crash never leaves a half-written sidecar beside a good trace.
-func writeAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".meta-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
 }

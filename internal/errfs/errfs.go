@@ -1,0 +1,127 @@
+// Package errfs is the filesystem seam under every durable store in the
+// daemon: the jobs result cache, the job journal, and the trace corpus
+// all perform their disk I/O through the FS interface instead of calling
+// the os package directly. Production uses OS, a thin passthrough; tests
+// use Injector (inject.go), which wraps any FS with a deterministic
+// fault plan — EIO on the Nth write, short writes, sync failures, or a
+// "crash" that freezes the tree mid-operation — so the stores' claimed
+// crash-safety (docs/DURABILITY.md) is proven against injected disk
+// faults rather than asserted.
+//
+// The package also owns the one correct spelling of a durable atomic
+// write, WriteAtomic: stage to a temp file, write, fsync the FILE, close,
+// rename over the destination, fsync the DIRECTORY. Skipping the file
+// sync risks renaming an empty or torn file into place after a power cut
+// (the data may still be in the page cache when the metadata lands);
+// skipping the directory sync risks the rename itself vanishing. Every
+// store writes through this helper so the discipline cannot drift
+// per-callsite.
+package errfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the stores need: sequential writes,
+// durability, and identity. Reads go through FS.ReadFile instead — the
+// stores never seek inside a file they are mutating.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	Close() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface the durable stores consume. Methods mirror
+// the os package; an implementation may fail any of them to model a
+// hostile disk.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	CreateTemp(dir, pattern string) (File, error)
+	// OpenFile opens for writing (the journal's append path).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory so a completed rename inside it is
+	// durable, not merely staged in the page cache.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a passthrough to the os package.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (OS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+func (OS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                   { return os.Remove(name) }
+func (OS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// A directory fsync can fail on exotic filesystems; the close error is
+	// irrelevant next to the sync's.
+	err = d.Sync()
+	d.Close()
+	return err
+}
+
+// WriteAtomic durably replaces path with data: temp file in the same
+// directory, write, fsync, close, rename, directory fsync. On any error
+// the temp file is removed and path is untouched — a reader never
+// observes a torn or half-written file, before or after a crash.
+func WriteAtomic(fsys FS, path string, data []byte) error {
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), ".atomic-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		fsys.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		fsys.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		fsys.Remove(tmp.Name())
+		return err
+	}
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}

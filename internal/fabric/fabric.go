@@ -36,7 +36,6 @@
 package fabric
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 
@@ -78,8 +77,10 @@ type registerRequest struct {
 }
 
 // cellPlan is the coordinator's precomputed view of one cell: its
-// coordinates, its singleton canonical spec, and the cell-level content
-// address derived from it.
+// coordinates, its singleton canonical spec, the cell-level content
+// address derived from it, and the coordinator's commit bit. The planning
+// itself lives in the facade (hybridtier.CellPlans), shared with the
+// service's crash-safe cell runner so both shard the same addresses.
 type cellPlan struct {
 	cell      hybridtier.Cell
 	spec      []byte // canonical JSON of CellSpec(cell)
@@ -87,64 +88,27 @@ type cellPlan struct {
 	committed bool
 }
 
-// planCells parses a canonical sweep spec and derives every cell's
-// singleton spec and hash. The enumeration order is the facade's
-// policy-major Cells order — the order the merged result array must have.
+// planCells derives every cell's singleton spec and hash via the facade,
+// in the policy-major Cells order the merged result array must have.
 func planCells(canonical []byte) (hybridtier.SweepSpec, []cellPlan, error) {
-	var spec hybridtier.SweepSpec
-	if err := json.Unmarshal(canonical, &spec); err != nil {
-		return spec, nil, fmt.Errorf("fabric: corrupt canonical spec: %w", err)
+	spec, facadePlans, err := hybridtier.CellPlans(canonical)
+	if err != nil {
+		return spec, nil, fmt.Errorf("fabric: %w", err)
 	}
-	sw := &hybridtier.Sweep{Policies: spec.Policies, Ratios: spec.Ratios, Seeds: spec.Seeds}
-	cells := sw.Cells()
-	plans := make([]cellPlan, len(cells))
-	for i, c := range cells {
-		single, err := spec.CellSpec(c).CanonicalJSON()
-		if err != nil {
-			return spec, nil, fmt.Errorf("fabric: cell %d of the canonical spec fails canonicalization: %w", i, err)
-		}
-		plans[i] = cellPlan{cell: c, spec: single, hash: hybridtier.HashCanonicalJSON(single)}
+	plans := make([]cellPlan, len(facadePlans))
+	for i, p := range facadePlans {
+		plans[i] = cellPlan{cell: p.Cell, spec: p.Spec, hash: p.Hash}
 	}
 	return spec, plans, nil
 }
 
-// reindexCell rewrites a canonical singleton result (a one-element JSON
-// array whose cell carries index 0) into the element bytes for position
-// idx of the merged sweep. It round-trips through the same structs and
-// the same encoder that produced the bytes, which is what makes the
-// rewrite byte-stable everywhere but the index field (pinned by test:
-// encoding/json re-marshals its own output of a fixed struct type
-// identically — shortest-round-trip floats included).
+// reindexCell and mergeCells are the facade's byte-stable singleton
+// rewrite and merge (hybridtier.ReindexCellJSON / MergeCellJSON); see
+// their doc comments for the encoding contract the fabric leans on.
 func reindexCell(singleton []byte, idx int) ([]byte, error) {
-	var cells []hybridtier.CellResult
-	if err := json.Unmarshal(singleton, &cells); err != nil {
-		return nil, fmt.Errorf("fabric: corrupt singleton cell result: %w", err)
-	}
-	if len(cells) != 1 {
-		return nil, fmt.Errorf("fabric: singleton cell result holds %d cells, want 1", len(cells))
-	}
-	cells[0].Index = idx
-	return json.Marshal(cells[0])
+	return hybridtier.ReindexCellJSON(singleton, idx)
 }
 
-// mergeCells assembles committed per-cell element bytes into the sweep's
-// result array — exactly the bytes json.Marshal produces for the ordered
-// []CellResult slice, because that marshaling is the elements joined by
-// commas inside brackets with no whitespace.
 func mergeCells(elements [][]byte) []byte {
-	var buf bytes.Buffer
-	size := 2
-	for _, e := range elements {
-		size += len(e) + 1
-	}
-	buf.Grow(size)
-	buf.WriteByte('[')
-	for i, e := range elements {
-		if i > 0 {
-			buf.WriteByte(',')
-		}
-		buf.Write(e)
-	}
-	buf.WriteByte(']')
-	return buf.Bytes()
+	return hybridtier.MergeCellJSON(elements)
 }

@@ -1,7 +1,10 @@
 package jobs
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/errfs"
 )
 
 // hashPattern is the only accepted cache key shape: lowercase hex
@@ -20,16 +25,34 @@ var hashPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
 // ValidHash reports whether s is a well-formed content hash.
 func ValidHash(s string) bool { return hashPattern.MatchString(s) }
 
+// QuarantineDir is the sidecar directory (under the store root) where
+// corrupt entries are moved instead of being served or deleted. Both the
+// jobs cache and the trace corpus use the same name; disk GC and the
+// scrubber skip it.
+const QuarantineDir = "quarantine"
+
 // Cache is a content-addressed result store: canonical result bytes keyed
 // by the canonical-spec SHA-256. Two tiers:
 //
 //   - an in-memory LRU bounded by MaxBytes, the hot tier every Get
 //     consults first;
 //   - optionally, an on-disk store (one <hash>.json per result, plus the
-//     canonical spec as <hash>.spec.json for operators) that is written
-//     through on Put and consulted on memory misses, so results survive
-//     restarts and memory eviction. SetMaxDiskBytes bounds it, evicting
-//     oldest-written result+sidecar pairs first.
+//     canonical spec as <hash>.spec.json for operators and a <hash>.sum
+//     integrity sidecar holding the result bytes' own SHA-256) that is
+//     written through on Put and consulted on memory misses, so results
+//     survive restarts and memory eviction. SetMaxDiskBytes bounds it,
+//     evicting oldest-written entries first.
+//
+// The cache key is the spec's hash, not the result's, so the result bytes
+// cannot be checked against their own file name; the .sum sidecar closes
+// that gap. A disk read whose bytes no longer match the sidecar is
+// quarantined (moved under quarantine/, never served, never silently
+// deleted) and reported as a miss, so the daemon recomputes the result on
+// the next request instead of serving a flipped bit forever. Scrub walks
+// the whole store applying the same checks proactively.
+//
+// All disk I/O goes through an errfs.FS (fsync-on-write, fsync-on-rename
+// via errfs.WriteAtomic), so tests can prove crash-safety by injection.
 //
 // SetRemote adds an optional third, read-through tier: a fetch function
 // (in the fleet, a probe of peer daemons — internal/fabric) consulted
@@ -50,8 +73,10 @@ type Cache struct {
 	ll           *list.List // front = most recently used
 	items        map[string]*list.Element
 	dir          string
+	fsys         errfs.FS
 	maxDiskBytes int64 // 0 = unbounded
 	remote       func(hash string) ([]byte, bool)
+	lastScrub    *ScrubReport
 }
 
 // cacheEntry is one resident result.
@@ -65,11 +90,20 @@ type cacheEntry struct {
 // still serves). dir, when non-empty, enables the on-disk store; it is
 // created if missing.
 func NewCache(maxBytes int64, dir string) (*Cache, error) {
+	return NewCacheFS(maxBytes, dir, nil)
+}
+
+// NewCacheFS is NewCache with an explicit filesystem — the fault-injection
+// seam. nil fsys means the real disk.
+func NewCacheFS(maxBytes int64, dir string, fsys errfs.FS) (*Cache, error) {
 	if maxBytes <= 0 {
 		return nil, fmt.Errorf("jobs: cache MaxBytes must be positive, got %d", maxBytes)
 	}
+	if fsys == nil {
+		fsys = errfs.OS{}
+	}
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("jobs: cache dir: %w", err)
 		}
 	}
@@ -78,13 +112,14 @@ func NewCache(maxBytes int64, dir string) (*Cache, error) {
 		ll:       list.New(),
 		items:    map[string]*list.Element{},
 		dir:      dir,
+		fsys:     fsys,
 	}, nil
 }
 
 // Get returns the result stored under hash, consulting every tier:
-// memory (hits refresh recency), then the disk store (hits promote back
-// into memory), then the remote tier installed by SetRemote (hits promote
-// into memory only).
+// memory (hits refresh recency), then the disk store (hits verify against
+// the integrity sidecar and promote back into memory), then the remote
+// tier installed by SetRemote (hits promote into memory only).
 func (c *Cache) Get(hash string) ([]byte, bool) {
 	return c.get(hash, true)
 }
@@ -111,11 +146,15 @@ func (c *Cache) get(hash string, remoteOK bool) ([]byte, bool) {
 	remote := c.remote
 	c.mu.Unlock()
 	if c.dir != "" {
-		if data, err := os.ReadFile(c.resultPath(hash)); err == nil {
-			c.mu.Lock()
-			c.insert(hash, data)
-			c.mu.Unlock()
-			return data, true
+		if data, err := c.fsys.ReadFile(c.resultPath(hash)); err == nil {
+			if c.verifyResult(hash, data) {
+				c.mu.Lock()
+				c.insert(hash, data)
+				c.mu.Unlock()
+				return data, true
+			}
+			// Verification failed: the entry was quarantined; fall through
+			// to the remote tier (or a miss, which recomputes on resubmit).
 		}
 	}
 	// The remote fetch runs outside mu — it is a network round trip — so
@@ -129,6 +168,42 @@ func (c *Cache) get(hash string, remoteOK bool) ([]byte, bool) {
 		}
 	}
 	return nil, false
+}
+
+// verifyResult checks disk-read result bytes against the .sum sidecar.
+// A missing sidecar is accepted (entries written before sums existed;
+// Scrub adopts them); a mismatching one means the result or the sidecar
+// rotted, and the entry is quarantined rather than served.
+func (c *Cache) verifyResult(hash string, data []byte) bool {
+	sum, err := c.fsys.ReadFile(c.sumPath(hash))
+	if err != nil {
+		return true
+	}
+	if sha256Hex(data) == string(bytes.TrimSpace(sum)) {
+		return true
+	}
+	c.quarantineEntry(hash)
+	return false
+}
+
+// quarantineEntry moves every file of a corrupt entry into the
+// quarantine sidecar dir — off the serving path but preserved for
+// diagnosis, never silently deleted. Best-effort: a failing rename must
+// not turn detection into an error, the caller already treats the entry
+// as a miss.
+func (c *Cache) quarantineEntry(hash string) {
+	qdir := filepath.Join(c.dir, QuarantineDir)
+	if err := c.fsys.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	for _, name := range []string{hash + ".json", hash + ".sum", hash + ".spec.json"} {
+		src := filepath.Join(c.dir, name)
+		if _, err := c.fsys.Stat(src); err != nil {
+			continue
+		}
+		_ = c.fsys.Rename(src, filepath.Join(qdir, name))
+	}
+	_ = c.fsys.SyncDir(c.dir)
 }
 
 // SetRemote installs fetch as the cache's remote read-through tier,
@@ -145,9 +220,11 @@ func (c *Cache) SetRemote(fetch func(hash string) ([]byte, bool)) {
 
 // Put stores result under hash, writing through to the disk store when
 // one is configured. The memory insert always succeeds; the returned
-// error reports only a disk-store failure. spec (the canonical spec JSON)
-// is archived beside the result on disk so an operator can tell what a
-// hash is without reversing it; it is not needed to serve Get.
+// error reports only a disk-store failure. Each on-disk write is atomic
+// and fsync'd (file and directory), so a crash leaves either the old
+// store or the new entry, never a torn file. spec (the canonical spec
+// JSON) is archived beside the result so an operator can tell what a hash
+// is without reversing it; it is not needed to serve Get.
 func (c *Cache) Put(hash string, result, spec []byte) error {
 	if !ValidHash(hash) {
 		return fmt.Errorf("jobs: invalid cache hash %q", hash)
@@ -158,16 +235,142 @@ func (c *Cache) Put(hash string, result, spec []byte) error {
 	if c.dir == "" {
 		return nil
 	}
-	if err := writeAtomic(c.resultPath(hash), result); err != nil {
+	if err := errfs.WriteAtomic(c.fsys, c.resultPath(hash), result); err != nil {
+		return err
+	}
+	// The integrity sidecar lands after the result: a crash between the
+	// two leaves a result with no sum, which reads as a legacy entry until
+	// the scrubber adopts it — degraded verification, never a false alarm.
+	if err := errfs.WriteAtomic(c.fsys, c.sumPath(hash), []byte(sha256Hex(result))); err != nil {
 		return err
 	}
 	// The spec sidecar is best-effort metadata: its loss never loses a
 	// result, so its write shares the result's error but not its fate.
-	if err := writeAtomic(filepath.Join(c.dir, hash+".spec.json"), spec); err != nil {
+	if err := errfs.WriteAtomic(c.fsys, filepath.Join(c.dir, hash+".spec.json"), spec); err != nil {
 		return err
 	}
 	c.gcDisk()
 	return nil
+}
+
+// ScrubReport summarizes one integrity pass over a store, JSON-shaped for
+// the /healthz integrity section.
+type ScrubReport struct {
+	// Scanned counts entries examined; Verified those whose bytes matched
+	// their address or sidecar.
+	Scanned  int `json:"scanned"`
+	Verified int `json:"verified"`
+	// Adopted counts pre-integrity entries that gained a .sum sidecar.
+	Adopted int `json:"adopted,omitempty"`
+	// Quarantined counts corrupt entries moved aside this pass.
+	Quarantined int `json:"quarantined,omitempty"`
+	// Errors counts I/O failures during the pass (distinct from corruption).
+	Errors int `json:"errors,omitempty"`
+	// UnixNs stamps when the pass finished.
+	UnixNs int64 `json:"unix_ns"`
+}
+
+// Scrub walks the on-disk store verifying every entry: result bytes
+// against their .sum sidecar (adopting legacy entries that predate sums),
+// spec sidecars against the addressed hash directly. Corrupt entries are
+// quarantined. The quarantine dir and non-store files (the job journal,
+// stray temps) are skipped, never touched. Returns the pass's report,
+// also retrievable via LastScrub.
+func (c *Cache) Scrub() ScrubReport {
+	var rep ScrubReport
+	if c.dir != "" {
+		entries, err := c.fsys.ReadDir(c.dir)
+		if err != nil {
+			rep.Errors++
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue // quarantine/ and anything else nested
+			}
+			name := e.Name()
+			if hash, ok := cutSuffixHash(name, ".spec.json"); ok {
+				rep.Scanned++
+				c.scrubSpec(hash, &rep)
+				continue
+			}
+			if hash, ok := cutSuffixHash(name, ".json"); ok {
+				rep.Scanned++
+				c.scrubResult(hash, &rep)
+			}
+			// .sum sidecars are checked with their result; journal and temp
+			// files fail the hash-stem check and are left alone.
+		}
+	}
+	rep.UnixNs = time.Now().UnixNano()
+	c.mu.Lock()
+	c.lastScrub = &rep
+	c.mu.Unlock()
+	return rep
+}
+
+// LastScrub returns the most recent Scrub report, if any pass has run.
+func (c *Cache) LastScrub() (ScrubReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastScrub == nil {
+		return ScrubReport{}, false
+	}
+	return *c.lastScrub, true
+}
+
+func (c *Cache) scrubResult(hash string, rep *ScrubReport) {
+	data, err := c.fsys.ReadFile(c.resultPath(hash))
+	if err != nil {
+		if !os.IsNotExist(err) { // vanished = GC or quarantine raced the scan
+			rep.Errors++
+		}
+		return
+	}
+	sum, err := c.fsys.ReadFile(c.sumPath(hash))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Legacy entry from before integrity sidecars: adopt it by
+			// recording the sum of the bytes we have. If they were already
+			// rotten this blesses the rot — unavoidable without a second
+			// copy — but every later flip is caught.
+			if werr := errfs.WriteAtomic(c.fsys, c.sumPath(hash), []byte(sha256Hex(data))); werr != nil {
+				rep.Errors++
+				return
+			}
+			rep.Adopted++
+			return
+		}
+		rep.Errors++
+		return
+	}
+	if sha256Hex(data) != string(bytes.TrimSpace(sum)) {
+		c.quarantineEntry(hash)
+		rep.Quarantined++
+		return
+	}
+	rep.Verified++
+}
+
+func (c *Cache) scrubSpec(hash string, rep *ScrubReport) {
+	data, err := c.fsys.ReadFile(filepath.Join(c.dir, hash+".spec.json"))
+	if err != nil {
+		if !os.IsNotExist(err) { // vanished = GC or quarantine raced the scan
+			rep.Errors++
+		}
+		return
+	}
+	// The spec's hash IS the address, so it verifies with no sidecar.
+	if sha256Hex(data) != hash {
+		qdir := filepath.Join(c.dir, QuarantineDir)
+		if c.fsys.MkdirAll(qdir, 0o755) == nil {
+			_ = c.fsys.Rename(filepath.Join(c.dir, hash+".spec.json"),
+				filepath.Join(qdir, hash+".spec.json"))
+			_ = c.fsys.SyncDir(c.dir)
+		}
+		rep.Quarantined++
+		return
+	}
+	rep.Verified++
 }
 
 // SetMaxDiskBytes bounds the on-disk store to n bytes of results plus
@@ -193,7 +396,9 @@ type diskEntry struct {
 // fresh each time rather than tracking a running total: eviction is rare
 // (only on overflow), crash-leftover temp files and hand-deleted results
 // would drift any in-memory ledger, and the directory holds at most a few
-// thousand entries.
+// thousand entries. Only hash-named store files are counted or removed:
+// the quarantine dir, the job journal, and stray temps are invisible to
+// GC by construction.
 func (c *Cache) gcDisk() {
 	c.mu.Lock()
 	budget := c.maxDiskBytes
@@ -202,23 +407,31 @@ func (c *Cache) gcDisk() {
 	if dir == "" || budget <= 0 {
 		return
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := c.fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	var (
 		results []diskEntry
 		total   int64
-		sidecar = map[string]int64{}
+		sidecar = map[string]int64{} // by full file name
 	)
 	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
 		name := e.Name()
 		info, err := e.Info()
 		if err != nil {
 			continue
 		}
-		if hash, ok := cutSuffixHash(name, ".spec.json"); ok {
-			sidecar[hash] = info.Size()
+		if _, ok := cutSuffixHash(name, ".spec.json"); ok {
+			sidecar[name] = info.Size()
+			total += info.Size()
+			continue
+		}
+		if _, ok := cutSuffixHash(name, ".sum"); ok {
+			sidecar[name] = info.Size()
 			total += info.Size()
 			continue
 		}
@@ -236,14 +449,17 @@ func (c *Cache) gcDisk() {
 			break
 		}
 		// Remove the result first: once it is gone the entry cannot be
-		// served, so a crash between the two removes leaks only a sidecar,
+		// served, so a crash between the removes leaks only sidecars,
 		// which the next GC scan still counts and retries.
-		if err := os.Remove(c.resultPath(r.hash)); err != nil {
+		if err := c.fsys.Remove(c.resultPath(r.hash)); err != nil {
 			continue
 		}
 		total -= r.size
-		if err := os.Remove(filepath.Join(c.dir, r.hash+".spec.json")); err == nil {
-			total -= sidecar[r.hash]
+		for _, suffix := range []string{".spec.json", ".sum"} {
+			name := r.hash + suffix
+			if err := c.fsys.Remove(filepath.Join(c.dir, name)); err == nil {
+				total -= sidecar[name]
+			}
 		}
 	}
 }
@@ -297,25 +513,14 @@ func (c *Cache) resultPath(hash string) string {
 	return filepath.Join(c.dir, hash+".json")
 }
 
-// writeAtomic writes data via a temp file + rename so a crashed daemon
-// never leaves a half-written result that a later Get would serve.
-func writeAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".cache-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+// sumPath is the on-disk location of a hash's integrity sidecar: the hex
+// SHA-256 of the RESULT bytes (the hash itself addresses the spec).
+func (c *Cache) sumPath(hash string) string {
+	return filepath.Join(c.dir, hash+".sum")
+}
+
+// sha256Hex is the store's one spelling of a content sum.
+func sha256Hex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
 }

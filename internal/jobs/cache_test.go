@@ -99,7 +99,7 @@ func TestCacheDiskStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), ".cache-") {
+		if strings.HasPrefix(e.Name(), ".atomic-") {
 			t.Errorf("leftover temp file %s", e.Name())
 		}
 	}
@@ -167,7 +167,11 @@ func TestCacheDiskGC(t *testing.T) {
 		// Distinct mtimes so oldest-first is well defined even on coarse
 		// filesystem clocks.
 		old := time.Now().Add(time.Duration(i-10) * time.Hour)
-		for _, p := range []string{filepath.Join(dir, h+".json"), filepath.Join(dir, h+".spec.json")} {
+		for _, p := range []string{
+			filepath.Join(dir, h+".json"),
+			filepath.Join(dir, h+".spec.json"),
+			filepath.Join(dir, h+".sum"),
+		} {
 			if err := os.Chtimes(p, old, old); err != nil {
 				t.Fatal(err)
 			}
@@ -190,19 +194,20 @@ func TestCacheDiskGC(t *testing.T) {
 		}
 		return out
 	}
-	if got := onDisk(); len(got) != 11 { // 5 pairs + stray
-		t.Fatalf("precondition: %d files on disk, want 11", len(got))
+	if got := onDisk(); len(got) != 16 { // 5 result+spec+sum trios + stray
+		t.Fatalf("precondition: %d files on disk, want 16", len(got))
 	}
 
-	// Budget for two pairs: the three oldest pairs must go, newest stays.
-	pair := int64(len(result) + len(spec))
-	c.SetMaxDiskBytes(2 * pair)
+	// Budget for two trios: the three oldest must go, newest stays. The
+	// .sum sidecar is 64 hex bytes.
+	trio := int64(len(result)+len(spec)) + 64
+	c.SetMaxDiskBytes(2 * trio)
 	got := onDisk()
 	if !got[stray[len(dir)+1:]] {
 		t.Error("GC removed a non-cache file")
 	}
 	for _, h := range hashes[:3] {
-		if got[h+".json"] || got[h+".spec.json"] {
+		if got[h+".json"] || got[h+".spec.json"] || got[h+".sum"] {
 			t.Errorf("oldest entry %s survived eviction", h[:12])
 		}
 		if _, ok := c.Get(h); !ok {
@@ -210,7 +215,7 @@ func TestCacheDiskGC(t *testing.T) {
 		}
 	}
 	for _, h := range hashes[3:] {
-		if !got[h+".json"] || !got[h+".spec.json"] {
+		if !got[h+".json"] || !got[h+".spec.json"] || !got[h+".sum"] {
 			t.Errorf("entry %s inside the budget was evicted", h[:12])
 		}
 	}
@@ -329,6 +334,91 @@ func TestCacheDiskGCRacesConcurrentPutGet(t *testing.T) {
 		if _, ok := cutSuffixHash(name, ".json"); ok {
 			continue
 		}
+		if _, ok := cutSuffixHash(name, ".sum"); ok {
+			continue
+		}
 		t.Errorf("stray file %q left in the store after concurrent GC", name)
+	}
+}
+
+// TestCacheDiskGCSkipsQuarantineAndJournal: the disk budget must never
+// count or delete the quarantine dir or the job journal living beside the
+// store files — evicting quarantined evidence or the crash ledger to make
+// room for results would be silent data loss.
+func TestCacheDiskGCSkipsQuarantineAndJournal(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A quarantined entry and a journal, both fat enough that counting
+	// them would blow any budget below.
+	qdir := filepath.Join(dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	quarantined := filepath.Join(qdir, hashOf("rotten")+".json")
+	if err := os.WriteFile(quarantined, bytes.Repeat([]byte("q"), 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(dir, "journal.wal")
+	if err := os.WriteFile(journal, bytes.Repeat([]byte("j"), 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	result := bytes.Repeat([]byte("r"), 100)
+	var hashes []string
+	var specLen int
+	for i := 0; i < 3; i++ {
+		// Spec-addressed, as in production, so the scrub below verifies
+		// rather than quarantines the spec sidecar.
+		spec := []byte(fmt.Sprintf(`{"workload":"zipf","pad":%d}`, i))
+		specLen = len(spec)
+		h := sha256Hex(spec)
+		hashes = append(hashes, h)
+		if err := c.Put(h, result, spec); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Now().Add(time.Duration(i-10) * time.Hour)
+		for _, suffix := range []string{".json", ".spec.json", ".sum"} {
+			if err := os.Chtimes(filepath.Join(dir, h+suffix), old, old); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	trio := int64(len(result)+specLen) + 64
+	// Budget fits one trio only if the journal and quarantine bytes are
+	// NOT counted; if GC counted them it would evict everything evictable.
+	c.SetMaxDiskBytes(trio)
+
+	if _, err := os.Stat(quarantined); err != nil {
+		t.Errorf("GC touched the quarantine dir: %v", err)
+	}
+	if data, err := os.ReadFile(journal); err != nil || len(data) != 4096 {
+		t.Errorf("GC touched the journal: %d bytes, %v", len(data), err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, hashes[2]+".json")); err != nil {
+		t.Errorf("newest entry evicted: %v", err)
+	}
+	for _, h := range hashes[:2] {
+		if _, err := os.Stat(filepath.Join(dir, h+".json")); err == nil {
+			t.Errorf("entry %s survived a one-trio budget, so GC counted foreign bytes", h[:12])
+		}
+	}
+
+	// The scrubber likewise walks past both: nothing quarantined twice,
+	// nothing scanned that is not a store entry.
+	rep := c.Scrub()
+	if rep.Scanned != 2 { // surviving result + its spec sidecar
+		t.Errorf("scrub scanned %d entries, want 2 (journal/quarantine must be skipped)", rep.Scanned)
+	}
+	if rep.Quarantined != 0 || rep.Errors != 0 {
+		t.Errorf("scrub over a healthy store: %+v", rep)
+	}
+	if _, err := os.Stat(quarantined); err != nil {
+		t.Errorf("scrub touched the quarantine dir: %v", err)
+	}
+	if data, err := os.ReadFile(journal); err != nil || len(data) != 4096 {
+		t.Errorf("scrub touched the journal: %d bytes, %v", len(data), err)
 	}
 }

@@ -237,6 +237,17 @@ type Config struct {
 	Run Runner
 	// Cache, when non-nil, serves and stores results by spec hash.
 	Cache *Cache
+	// Journal, when non-nil, durably records every job transition so a
+	// restarted daemon can rebuild its job list (journal.go). Append
+	// failures never fail the job — the journal latches the error for
+	// /healthz and the daemon keeps serving from memory.
+	Journal *Journal
+	// Resume is the record stream recovered by OpenJournal. NewManager
+	// replays it: terminal jobs are re-listed, jobs that were queued or
+	// running at crash time are resubmitted (served straight from the
+	// cache when their result already landed), and the journal is
+	// compacted to the surviving state.
+	Resume []Record
 }
 
 // Submission failure sentinels, distinguished so the service can map them
@@ -264,13 +275,112 @@ func NewManager(cfg Config) *Manager {
 		cfg:      cfg,
 		jobs:     map[string]*Job{},
 		inflight: map[string]*Job{},
-		queue:    make(chan *Job, cfg.QueueDepth),
 	}
+	// Replay the journal before the pool exists: recovered live jobs must
+	// all fit the queue, so its capacity is sized after counting them.
+	live := m.replay(cfg.Resume)
+	depth := cfg.QueueDepth
+	if len(live) > depth {
+		depth = len(live)
+	}
+	m.queue = make(chan *Job, depth)
+	for _, j := range live {
+		m.inflight[j.hash] = j
+		m.queue <- j
+	}
+	m.compactJournal()
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
 	return m
+}
+
+// replay rebuilds the job list from recovered journal records. Terminal
+// jobs are re-listed as they ended; jobs that were queued or running when
+// the process died come back to life — served instantly when the cache
+// already holds their result (the run finished but its terminal record
+// didn't land), resubmitted otherwise. Runs before the worker pool
+// starts, so no locking subtleties apply yet. Returns the jobs to
+// enqueue.
+func (m *Manager) replay(records []Record) (live []*Job) {
+	for _, rj := range replayRecords(records) {
+		j := newJob(m.nextID(), rj.hash, rj.spec)
+		switch {
+		case rj.state.Terminal():
+			ev := Event{Type: "state", State: rj.state, Error: rj.errMsg}
+			if rj.state == Done {
+				ev.Result = rj.hash
+			}
+			j.mu.Lock()
+			j.finished = time.Now()
+			j.appendEvent(ev)
+			j.mu.Unlock()
+		case rj.spec == nil:
+			// A start record with no surviving submit record: the spec is
+			// gone, so the job cannot be re-run. Fail it honestly rather
+			// than dropping it from the listing.
+			j.mu.Lock()
+			j.finished = time.Now()
+			j.appendEvent(Event{Type: "state", State: Failed,
+				Error: "crash recovery: spec not recovered from journal"})
+			j.mu.Unlock()
+		default:
+			cached := false
+			if m.cfg.Cache != nil {
+				_, cached = m.cfg.Cache.Get(rj.hash)
+			}
+			if cached {
+				now := time.Now()
+				j.mu.Lock()
+				j.cacheHit = true
+				j.started, j.finished = now, now
+				j.appendEvent(Event{Type: "state", State: Done, Result: rj.hash})
+				j.mu.Unlock()
+			} else {
+				live = append(live, j)
+			}
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j)
+	}
+	m.pruneLocked()
+	return live
+}
+
+// compactJournal rewrites the journal to one record per surviving job —
+// the bound that keeps replay time proportional to the job list, not the
+// daemon's whole history. Runs at startup, after replay settles the list.
+func (m *Manager) compactJournal() {
+	if m.cfg.Journal == nil {
+		return
+	}
+	recs := make([]Record, 0, len(m.order))
+	for _, j := range m.order {
+		info := j.Info()
+		rec := Record{Hash: info.Hash, Spec: info.Spec}
+		switch info.State {
+		case Done:
+			rec.Type = recDone
+		case Failed:
+			rec.Type, rec.Error = recFailed, info.Error
+		case Canceled:
+			rec.Type, rec.Error = recCanceled, info.Error
+		default:
+			rec.Type = recSubmit
+		}
+		recs = append(recs, rec)
+	}
+	_ = m.cfg.Journal.Compact(recs)
+}
+
+// journal appends one record, nil-safe and deliberately fire-and-forget:
+// the Journal latches its first error for /healthz, and a disk that has
+// stopped accepting appends must degrade durability, not availability.
+func (m *Manager) journal(rec Record) {
+	if m.cfg.Journal != nil {
+		_ = m.cfg.Journal.Append(rec)
+	}
 }
 
 // Submit registers work for the canonical spec with the given content
@@ -309,6 +419,10 @@ func (m *Manager) Submit(hash string, spec []byte) (j *Job, created bool, err er
 		j.mu.Unlock()
 		m.jobs[j.id] = j
 		m.order = append(m.order, j)
+		// A cache hit is born terminal; journal it as such so a restart
+		// re-lists it without consulting the cache.
+		m.journal(Record{Type: recSubmit, Hash: hash, Spec: spec})
+		m.journal(Record{Type: recDone, Hash: hash})
 		return j, true, nil
 	}
 	if live, ok := m.inflight[hash]; ok {
@@ -323,6 +437,11 @@ func (m *Manager) Submit(hash string, spec []byte) (j *Job, created bool, err er
 	m.jobs[j.id] = j
 	m.order = append(m.order, j)
 	m.inflight[hash] = j
+	// Journaled under m.mu: the fsync serializes submissions, which is the
+	// price of "an acknowledged submit survives a crash". A worker may
+	// still race its start record ahead of this one — replayRecords folds
+	// records order-tolerantly, so that interleaving is harmless.
+	m.journal(Record{Type: recSubmit, Hash: hash, Spec: spec})
 	return j, true, nil
 }
 
@@ -402,6 +521,7 @@ func (m *Manager) Cancel(id string) bool {
 		j.appendEvent(Event{Type: "state", State: Canceled, Error: "canceled while queued"})
 		j.mu.Unlock()
 		m.forgetInflight(j)
+		m.journal(Record{Type: recCanceled, Hash: j.hash, Error: "canceled while queued"})
 	case j.state == Running && j.cancel != nil:
 		cancel := j.cancel
 		j.mu.Unlock()
@@ -445,6 +565,7 @@ func (m *Manager) runJob(j *Job) {
 	j.appendEvent(Event{Type: "state", State: Running})
 	spec := j.spec
 	j.mu.Unlock()
+	m.journal(Record{Type: recStart, Hash: j.hash})
 
 	result, err := m.cfg.Run(ctx, spec, func(done, total int) {
 		j.appendLockedUnlocked(Event{Type: "progress", Done: done, Total: total})
@@ -453,6 +574,7 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Lock()
 	j.cancel = nil
 	j.finished = time.Now()
+	var term Record
 	switch {
 	case err == nil:
 		if m.cfg.Cache != nil {
@@ -462,12 +584,19 @@ func (m *Manager) runJob(j *Job) {
 			_ = m.cfg.Cache.Put(j.hash, result, spec)
 		}
 		j.appendEvent(Event{Type: "state", State: Done, Result: j.hash})
+		term = Record{Type: recDone, Hash: j.hash}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.appendEvent(Event{Type: "state", State: Canceled, Error: err.Error()})
+		term = Record{Type: recCanceled, Hash: j.hash, Error: err.Error()}
 	default:
 		j.appendEvent(Event{Type: "state", State: Failed, Error: err.Error()})
+		term = Record{Type: recFailed, Hash: j.hash, Error: err.Error()}
 	}
 	j.mu.Unlock()
+	// The terminal record lands after the cache write above, so a crash
+	// between them replays as still-running and resubmits — and the
+	// resubmission is then served straight from the cache.
+	m.journal(term)
 }
 
 // Drain shuts the manager down: intake stops (Submit returns

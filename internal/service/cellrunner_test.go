@@ -1,0 +1,250 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	hybridtier "repro"
+	"repro/internal/jobs"
+)
+
+// cellTestSpec is a 4-cell grid (2 policies × 2 seeds), canonicalized.
+func cellTestSpec(t *testing.T) []byte {
+	t.Helper()
+	canonical, err := testSpec().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canonical
+}
+
+func newCellCache(t *testing.T) *jobs.Cache {
+	t.Helper()
+	c, err := jobs.NewCache(64<<20, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCellRunnerMatchesRunnerAndPopulatesCache: the cold-cache fast path
+// produces bytes identical to the plain whole-sweep Runner while writing
+// every cell through to the cache under its content address.
+func TestCellRunnerMatchesRunnerAndPopulatesCache(t *testing.T) {
+	canonical := cellTestSpec(t)
+	want, err := Runner(2)(context.Background(), canonical, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := newCellCache(t)
+	got, err := CellRunner(2, cache)(context.Background(), canonical, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("CellRunner bytes diverge from Runner:\n got %s\nwant %s", got, want)
+	}
+
+	_, plans, err := hybridtier.CellPlans(canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 4 {
+		t.Fatalf("test spec plans %d cells, want 4", len(plans))
+	}
+	for i, p := range plans {
+		single, ok := cache.GetLocal(p.Hash)
+		if !ok {
+			t.Fatalf("cell %d not written through to the cache", i)
+		}
+		element, err := hybridtier.ReindexCellJSON(single, p.Cell.Index)
+		if err != nil {
+			t.Fatalf("cell %d cached bytes malformed: %v", i, err)
+		}
+		if !bytes.Contains(want, element) {
+			t.Errorf("cell %d cached bytes not a slice of the whole-sweep result", i)
+		}
+	}
+}
+
+// TestCellRunnerResumesFromPartialCache: with some cells already cached
+// (the state a SIGKILLed daemon leaves behind), only the missing cells
+// execute — proven by mtimes on the cached entries staying untouched —
+// and the merged output is byte-identical to an uninterrupted run.
+func TestCellRunnerResumesFromPartialCache(t *testing.T) {
+	canonical := cellTestSpec(t)
+	want, err := Runner(2)(context.Background(), canonical, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plans, err := hybridtier.CellPlans(canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-seed cells 0 and 2 the way a crashed run's write-through would
+	// have: as canonical singleton bytes under the cell address. Poison the
+	// seeded Result so a re-run (which would compute honest bytes) is
+	// detectable in the merged output.
+	dir := t.TempDir()
+	cache, err := jobs.NewCache(64<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := map[int][]byte{}
+	for _, i := range []int{0, 2} {
+		single, err := CellRunner(1, nil)(context.Background(), plans[i].Spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cache.Put(plans[i].Hash, single, plans[i].Spec); err != nil {
+			t.Fatal(err)
+		}
+		seeded[i] = single
+	}
+	var ran []string
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		ran = append(ran, e.Name())
+	}
+	preSeedFiles := len(ran)
+
+	var progMu sync.Mutex
+	var lastDone, firstDone, total int
+	first := true
+	progress := func(d, tot int) {
+		progMu.Lock()
+		if first {
+			firstDone, first = d, false
+		}
+		lastDone, total = d, tot
+		progMu.Unlock()
+	}
+	got, err := CellRunner(2, cache)(context.Background(), canonical, progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed bytes diverge from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+	if firstDone != 2 || lastDone != 4 || total != 4 {
+		t.Errorf("progress first=%d last=%d/%d, want the cached head start 2 then 4/4",
+			firstDone, lastDone, total)
+	}
+	// The seeded cells were served, not re-run: their cached bytes are
+	// unchanged and the merged result embeds their reindexed forms.
+	for i, single := range seeded {
+		now, ok := cache.GetLocal(plans[i].Hash)
+		if !ok || !bytes.Equal(now, single) {
+			t.Errorf("seeded cell %d rewritten during resume", i)
+		}
+	}
+	// The two missing cells were written through.
+	for _, i := range []int{1, 3} {
+		if _, ok := cache.GetLocal(plans[i].Hash); !ok {
+			t.Errorf("missing cell %d not written through during resume", i)
+		}
+	}
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grew := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			grew++
+		}
+	}
+	if grew != preSeedFiles+6 { // 2 new trios
+		t.Errorf("resume left %d files, want %d (the 2 missing cells' trios)", grew, preSeedFiles+6)
+	}
+}
+
+// TestCellRunnerAllCached: every cell cached → no execution at all, just
+// merge. Proven by handing the runner a spec whose workload would fail to
+// build: serving it anyway means nothing ran.
+func TestCellRunnerAllCached(t *testing.T) {
+	canonical := cellTestSpec(t)
+	want, err := Runner(2)(context.Background(), canonical, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plans, err := hybridtier.CellPlans(canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newCellCache(t)
+	for _, p := range plans {
+		single, err := CellRunner(1, nil)(context.Background(), p.Spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cache.Put(p.Hash, single, p.Spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Canceled context: any attempt to actually run a cell would fail.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := CellRunner(2, cache)(ctx, canonical, nil)
+	if err != nil {
+		t.Fatalf("fully-cached sweep should serve without running: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fully-cached merge diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCellRunnerFailedSweepCachesNothing: a sweep that fails before its
+// cells run (here: a corpus hash this process does not hold) must not
+// leave partial entries in the cache.
+func TestCellRunnerFailedSweepCachesNothing(t *testing.T) {
+	spec := testSpec()
+	spec.Workload = "corpus:" + strings.Repeat("ab", 32)
+	spec.Params = nil
+	spec.Seeds = []uint64{1}
+	canonical, err := spec.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cache, err := jobs.NewCache(64<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CellRunner(2, cache)(context.Background(), canonical, nil); err == nil {
+		t.Fatal("sweep over an absent corpus trace reported success")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed sweep left %d cache files", len(entries))
+	}
+}
+
+// TestCellRunnerNilCacheDegradesToRunner: the nil-cache escape hatch is
+// exactly Runner.
+func TestCellRunnerNilCacheDegradesToRunner(t *testing.T) {
+	canonical := cellTestSpec(t)
+	want, err := Runner(2)(context.Background(), canonical, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CellRunner(2, nil)(context.Background(), canonical, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("nil-cache CellRunner diverges from Runner")
+	}
+}

@@ -55,6 +55,10 @@ type Config struct {
 	// Fleet, when non-nil, contributes a "fleet" section to /healthz —
 	// the coordinator's fabric.FleetStatus snapshot.
 	Fleet func() any
+	// Integrity, when non-nil, contributes an "integrity" section to
+	// /healthz: the latest store scrub reports and the job journal's
+	// health (cmd/htiersimd wires integrityStatus; see docs/DURABILITY.md).
+	Integrity func() any
 	// Log receives one line per request outcome; nil silences.
 	Log *log.Logger
 }
@@ -91,11 +95,12 @@ func Runner(sweepWorkers int) jobs.Runner {
 
 // handler carries the mux plus its dependencies.
 type handler struct {
-	m        *jobs.Manager
-	corpus   *corpus.Store
-	maxTrace int64
-	fleet    func() any
-	log      *log.Logger
+	m         *jobs.Manager
+	corpus    *corpus.Store
+	maxTrace  int64
+	fleet     func() any
+	integrity func() any
+	log       *log.Logger
 }
 
 // NewHandler builds the daemon's http.Handler. Routes:
@@ -118,7 +123,10 @@ func NewHandler(cfg Config) http.Handler {
 	if maxTrace <= 0 {
 		maxTrace = defaultMaxTraceBytes
 	}
-	h := &handler{m: cfg.Manager, corpus: cfg.Corpus, maxTrace: maxTrace, fleet: cfg.Fleet, log: cfg.Log}
+	h := &handler{
+		m: cfg.Manager, corpus: cfg.Corpus, maxTrace: maxTrace,
+		fleet: cfg.Fleet, integrity: cfg.Integrity, log: cfg.Log,
+	}
 	mux := http.NewServeMux()
 	if cfg.Fabric != nil {
 		mux.Handle("/fabric/", cfg.Fabric)
@@ -173,6 +181,9 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if h.fleet != nil {
 		body["fleet"] = h.fleet()
+	}
+	if h.integrity != nil {
+		body["integrity"] = h.integrity()
 	}
 	h.reply(w, http.StatusOK, body)
 }

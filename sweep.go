@@ -55,6 +55,13 @@ type Sweep struct {
 	// Progress, when non-nil, is called after each cell completes with the
 	// number of finished cells and the total. Calls are serialized.
 	Progress func(done, total int)
+	// OnCell, when non-nil, is called once per completed cell with its
+	// result, serialized with Progress (and before it for the same cell).
+	// It is the write-through hook: the service's crash-safe runner
+	// persists each finished cell to the content-addressed cache here, so
+	// a killed sweep resumes from its last completed cell instead of
+	// from zero. Cells arrive in completion order, not Cells order.
+	OnCell func(cr CellResult)
 }
 
 // Cells enumerates the cross product in deterministic policy-major order.
@@ -263,9 +270,14 @@ func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
 				}
 				results[idx] = cr
 				n := int(done.Add(1))
-				if s.Progress != nil {
+				if s.OnCell != nil || s.Progress != nil {
 					progMu.Lock()
-					s.Progress(n, len(cells))
+					if s.OnCell != nil {
+						s.OnCell(cr)
+					}
+					if s.Progress != nil {
+						s.Progress(n, len(cells))
+					}
 					progMu.Unlock()
 				}
 			}
