@@ -71,6 +71,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -118,6 +119,7 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long running jobs may finish after SIGTERM")
 	journalPath := fs.String("journal", "", "job journal file (default: <cache-dir>/journal.wal; empty cache-dir disables)")
 	scrubInterval := fs.Duration("scrub-interval", 0, "period between store integrity scrubs (0 = off)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ (scripts/pgo.sh drives this)")
 	workerMode := fs.Bool("worker", false, "join a sweep fabric as a worker instead of coordinating one")
 	join := fs.String("join", "", "coordinator base URL to register with (worker mode)")
 	advertise := fs.String("advertise", "", "base URL the coordinator dials back (default: loopback + listen port)")
@@ -287,18 +289,32 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		return body
 	}
 
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: service.NewHandler(service.Config{
-			Manager:       manager,
-			Corpus:        store,
-			MaxTraceBytes: *maxTraceMB << 20,
-			Fabric:        fabricHandler,
-			Fleet:         fleet,
-			Integrity:     integrity,
-			Log:           logger,
-		}),
+	handler := service.NewHandler(service.Config{
+		Manager:       manager,
+		Corpus:        store,
+		MaxTraceBytes: *maxTraceMB << 20,
+		Fabric:        fabricHandler,
+		Fleet:         fleet,
+		Integrity:     integrity,
+		Log:           logger,
+	})
+	if *pprofOn {
+		// Profiling endpoints are opt-in and mounted explicitly (never via
+		// net/http/pprof's DefaultServeMux side effect): a production
+		// daemon should not expose /debug/pprof/ unless asked to. This is
+		// how scripts/pgo.sh captures the CPU profile that becomes the
+		// checked-in default.pgo.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		logger.Print("pprof handlers mounted at /debug/pprof/")
 	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	if ready != nil {
 		ready <- ln.Addr().String()

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"regexp"
 	"sort"
 	"strings"
 	"sync"
@@ -17,13 +16,24 @@ import (
 	"repro/internal/errfs"
 )
 
-// hashPattern is the only accepted cache key shape: lowercase hex
-// SHA-256. Keys become file names in the on-disk store, so this is also
-// the path-traversal guard — enforced here, not just at the HTTP layer.
-var hashPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
-
-// ValidHash reports whether s is a well-formed content hash.
-func ValidHash(s string) bool { return hashPattern.MatchString(s) }
+// ValidHash reports whether s is a well-formed content hash: exactly 64
+// lowercase hex digits. Keys become file names in the on-disk store, so
+// this is also the path-traversal guard — enforced here, not just at the
+// HTTP layer. It runs on every cache probe and on the daemon's serving
+// hot path, hence the hand-rolled byte scan instead of a regexp (which
+// costs an allocation and an order of magnitude in time per call).
+func ValidHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
 
 // QuarantineDir is the sidecar directory (under the store root) where
 // corrupt entries are moved instead of being served or deleted. Both the
@@ -79,10 +89,16 @@ type Cache struct {
 	lastScrub    *ScrubReport
 }
 
-// cacheEntry is one resident result.
+// cacheEntry is one resident result. etag is the entry's preformatted
+// strong entity tag (`"<hash>"`) as a ready-to-assign header value slice,
+// built once at insert so the HTTP cache-hit path serves without a single
+// per-request allocation (no string concatenation, no []string for the
+// header map). The slice is shared by concurrent requests and must never
+// be mutated.
 type cacheEntry struct {
 	hash string
 	data []byte
+	etag []string
 }
 
 // NewCache builds a cache holding up to maxBytes of result bytes in
@@ -121,6 +137,16 @@ func NewCacheFS(maxBytes int64, dir string, fsys errfs.FS) (*Cache, error) {
 // the integrity sidecar and promote back into memory), then the remote
 // tier installed by SetRemote (hits promote into memory only).
 func (c *Cache) Get(hash string) ([]byte, bool) {
+	data, _, ok := c.get(hash, true)
+	return data, ok
+}
+
+// GetTagged is Get plus the entry's preformatted strong entity tag: a
+// shared, immutable, length-1 header value slice holding `"<hash>"`.
+// It exists for the daemon's cache-hit serving path, which assigns the
+// slice straight into the response header map — etag[0] is the tag string
+// for If-None-Match comparison. Callers must not mutate the slice.
+func (c *Cache) GetTagged(hash string) (data []byte, etag []string, ok bool) {
 	return c.get(hash, true)
 }
 
@@ -129,19 +155,20 @@ func (c *Cache) Get(hash string) ([]byte, bool) {
 // local state only is what keeps two caches remote-probing each other
 // from recursing.
 func (c *Cache) GetLocal(hash string) ([]byte, bool) {
-	return c.get(hash, false)
+	data, _, ok := c.get(hash, false)
+	return data, ok
 }
 
-func (c *Cache) get(hash string, remoteOK bool) ([]byte, bool) {
+func (c *Cache) get(hash string, remoteOK bool) ([]byte, []string, bool) {
 	if !ValidHash(hash) {
-		return nil, false
+		return nil, nil, false
 	}
 	c.mu.Lock()
 	if el, ok := c.items[hash]; ok {
 		c.ll.MoveToFront(el)
-		data := el.Value.(*cacheEntry).data
+		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
-		return data, true
+		return e.data, e.etag, true
 	}
 	remote := c.remote
 	c.mu.Unlock()
@@ -149,9 +176,9 @@ func (c *Cache) get(hash string, remoteOK bool) ([]byte, bool) {
 		if data, err := c.fsys.ReadFile(c.resultPath(hash)); err == nil {
 			if c.verifyResult(hash, data) {
 				c.mu.Lock()
-				c.insert(hash, data)
+				e := c.insert(hash, data)
 				c.mu.Unlock()
-				return data, true
+				return data, e.etag, true
 			}
 			// Verification failed: the entry was quarantined; fall through
 			// to the remote tier (or a miss, which recomputes on resubmit).
@@ -162,12 +189,12 @@ func (c *Cache) get(hash string, remoteOK bool) ([]byte, bool) {
 	if remoteOK && remote != nil {
 		if data, ok := remote(hash); ok && data != nil {
 			c.mu.Lock()
-			c.insert(hash, data)
+			e := c.insert(hash, data)
 			c.mu.Unlock()
-			return data, true
+			return data, e.etag, true
 		}
 	}
-	return nil, false
+	return nil, nil, false
 }
 
 // verifyResult checks disk-read result bytes against the .sum sidecar.
@@ -475,23 +502,25 @@ func cutSuffixHash(name, suffix string) (string, bool) {
 }
 
 // insert adds or refreshes a memory entry and evicts from the cold end
-// past MaxBytes. Callers hold mu.
-func (c *Cache) insert(hash string, data []byte) {
+// past MaxBytes, returning the resident entry. Callers hold mu.
+func (c *Cache) insert(hash string, data []byte) *cacheEntry {
 	if el, ok := c.items[hash]; ok {
 		// Content-addressed: same hash, same bytes. Refresh recency only.
 		c.ll.MoveToFront(el)
-		return
+		return el.Value.(*cacheEntry)
 	}
-	el := c.ll.PushFront(&cacheEntry{hash: hash, data: data})
+	e := &cacheEntry{hash: hash, data: data, etag: []string{`"` + hash + `"`}}
+	el := c.ll.PushFront(e)
 	c.items[hash] = el
 	c.bytes += int64(len(data))
 	for c.bytes > c.maxBytes && c.ll.Len() > 1 {
 		cold := c.ll.Back()
-		e := cold.Value.(*cacheEntry)
+		ce := cold.Value.(*cacheEntry)
 		c.ll.Remove(cold)
-		delete(c.items, e.hash)
-		c.bytes -= int64(len(e.data))
+		delete(c.items, ce.hash)
+		c.bytes -= int64(len(ce.data))
 	}
+	return e
 }
 
 // Len returns the number of in-memory entries.

@@ -100,11 +100,17 @@ type Job struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	id       string
-	hash     string
-	spec     []byte
-	state    State
-	events   []Event
+	id     string
+	hash   string
+	spec   []byte
+	state  State
+	events []Event
+	// raw[i] is events[i] marshaled to compact JSON, encoded exactly once
+	// when the event is appended. Every NDJSON/SSE subscriber streams these
+	// shared bytes instead of re-marshaling per connection — the
+	// "no per-request JSON re-marshal" half of the daemon's allocation-free
+	// serving path. Like events, raw entries are immutable shared history.
+	raw      [][]byte
 	done     int
 	total    int
 	cacheHit bool
@@ -135,6 +141,13 @@ func (j *Job) appendLockedUnlocked(e Event) {
 func (j *Job) appendEvent(e Event) {
 	e.Seq = len(j.events)
 	j.events = append(j.events, e)
+	// Marshal once, here, for every subscriber that will ever stream this
+	// event. Event holds only ints and strings, so Marshal cannot fail.
+	b, err := json.Marshal(e)
+	if err != nil {
+		b = []byte(`{"type":"error"}`)
+	}
+	j.raw = append(j.raw, b)
 	switch e.Type {
 	case "state":
 		j.state = e.State
@@ -176,6 +189,16 @@ func (j *Job) Info() Info {
 // a subscriber loops on Next until terminal and never polls. The returned
 // slice is shared history: callers must not modify it.
 func (j *Job) Next(ctx context.Context, from int) (events []Event, terminal bool, err error) {
+	events, _, terminal, err = j.NextRaw(ctx, from)
+	return events, terminal, err
+}
+
+// NextRaw is Next returning, alongside the events, each one's
+// preformatted compact-JSON encoding: raw[i] encodes events[i], marshaled
+// once at append time and shared by every subscriber. Streaming handlers
+// write these bytes directly instead of re-marshaling per connection.
+// Both slices are shared history: callers must not modify them.
+func (j *Job) NextRaw(ctx context.Context, from int) (events []Event, raw [][]byte, terminal bool, err error) {
 	if from < 0 {
 		from = 0
 	}
@@ -190,15 +213,15 @@ func (j *Job) Next(ctx context.Context, from int) (events []Event, terminal bool
 	defer j.mu.Unlock()
 	for len(j.events) <= from && !j.state.Terminal() {
 		if ctx.Err() != nil {
-			return nil, false, ctx.Err()
+			return nil, nil, false, ctx.Err()
 		}
 		j.cond.Wait()
 	}
 	if len(j.events) <= from {
 		// Terminal with nothing new: the caller already saw the end.
-		return nil, true, nil
+		return nil, nil, true, nil
 	}
-	return j.events[from:], j.state.Terminal(), nil
+	return j.events[from:], j.raw[from:], j.state.Terminal(), nil
 }
 
 // Manager schedules jobs over a bounded worker pool with in-flight
@@ -501,6 +524,15 @@ func (m *Manager) Result(hash string) ([]byte, bool) {
 		return nil, false
 	}
 	return m.cfg.Cache.Get(hash)
+}
+
+// ResultTagged is Result plus the entry's preformatted strong-ETag header
+// value (see Cache.GetTagged) — the serving hot path's lookup.
+func (m *Manager) ResultTagged(hash string) (data []byte, etag []string, ok bool) {
+	if m.cfg.Cache == nil {
+		return nil, nil, false
+	}
+	return m.cfg.Cache.GetTagged(hash)
 }
 
 // Cancel requests cancellation of a job. A queued job goes terminal

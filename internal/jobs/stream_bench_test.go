@@ -1,0 +1,92 @@
+package jobs
+
+// The serving-path allocation contracts this package contributes to the
+// daemon: preformatted ETags on cache entries (GetTagged) and
+// marshal-once event streams (NextRaw).
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestCacheGetTagged(t *testing.T) {
+	c, err := NewCache(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashOf("tagged")
+	if _, _, ok := c.GetTagged(h); ok {
+		t.Fatal("GetTagged hit on an empty cache")
+	}
+	if err := c.Put(h, []byte("data"), nil); err != nil {
+		t.Fatal(err)
+	}
+	data, etag, ok := c.GetTagged(h)
+	if !ok || string(data) != "data" {
+		t.Fatalf("GetTagged = %q, %v", data, ok)
+	}
+	if len(etag) != 1 || etag[0] != `"`+h+`"` {
+		t.Fatalf("etag = %q, want one quoted hash", etag)
+	}
+	// The same preformatted slice must come back on every hit — it is
+	// built once at insert, not per request.
+	_, again, _ := c.GetTagged(h)
+	if &etag[0] != &again[0] {
+		t.Error("GetTagged rebuilt the etag value instead of sharing it")
+	}
+}
+
+func TestNextRawParallelsEvents(t *testing.T) {
+	j := newJob("job-1", hashOf("nr"), []byte(`{}`))
+	j.appendLockedUnlocked(Event{Type: "progress", Done: 1, Total: 2})
+	j.appendLockedUnlocked(Event{Type: "state", State: Done, Result: j.hash})
+	events, raw, terminal, err := j.NextRaw(context.Background(), 0)
+	if err != nil || !terminal {
+		t.Fatalf("NextRaw: terminal=%v err=%v", terminal, err)
+	}
+	if len(events) != len(raw) || len(events) != 3 {
+		t.Fatalf("len(events)=%d len(raw)=%d, want 3 each", len(events), len(raw))
+	}
+	for i, b := range raw {
+		if !strings.Contains(string(b), `"seq":`+itoa(events[i].Seq)) {
+			t.Errorf("raw[%d] = %s does not encode seq %d", i, b, events[i].Seq)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkNextRawReplay measures a full-history replay of a 256-event
+// stream — the work one subscriber wakeup does. The raw bytes were
+// marshaled once at append time, so the cost is slicing shared history:
+// allocations stay constant however many events the stream carries
+// (before, each replay re-marshaled every event).
+func BenchmarkNextRawReplay(b *testing.B) {
+	j := newJob("job-1", hashOf("bench"), []byte(`{}`))
+	for i := 0; i < 254; i++ {
+		j.appendLockedUnlocked(Event{Type: "progress", Done: i + 1, Total: 254})
+	}
+	j.appendLockedUnlocked(Event{Type: "state", State: Done, Result: j.hash})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events, raw, terminal, err := j.NextRaw(ctx, 0)
+		if err != nil || !terminal || len(events) != 256 || len(raw) != 256 {
+			b.Fatalf("NextRaw: %d events, terminal=%v, err=%v", len(events), terminal, err)
+		}
+	}
+}

@@ -17,6 +17,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -25,6 +26,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	hybridtier "repro"
@@ -311,13 +313,17 @@ func (h *handler) events(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	from := 0
-	if s := r.URL.Query().Get("from"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil || v < 0 {
-			h.error(w, http.StatusBadRequest, "bad from parameter: want a non-negative integer")
-			return
+	// Query() builds a url.Values map per call; skip it on the common
+	// no-parameter stream so attaching to a job allocates nothing extra.
+	if r.URL.RawQuery != "" {
+		if s := r.URL.Query().Get("from"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				h.error(w, http.StatusBadRequest, "bad from parameter: want a non-negative integer")
+				return
+			}
+			from = v
 		}
-		from = v
 	}
 	sse := false
 	for _, accept := range r.Header.Values("Accept") {
@@ -339,22 +345,35 @@ func (h *handler) events(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	flush() // commit headers before the first (possibly long) wait
+	buf := streamBufPool.Get().(*bytes.Buffer)
+	defer streamBufPool.Put(buf)
 	for {
-		events, terminal, err := j.Next(r.Context(), from)
+		events, raw, terminal, err := j.NextRaw(r.Context(), from)
 		if err != nil {
 			return // client went away
 		}
-		for _, e := range events {
-			b, merr := json.Marshal(e)
-			if merr != nil {
-				return
-			}
+		// Frame the whole batch into one pooled buffer and hand the
+		// ResponseWriter a single Write per wakeup: the event bytes were
+		// marshaled once at append time (jobs.Job.NextRaw), so the only
+		// per-round work here is framing — no JSON re-marshal, no
+		// per-event Write syscalls, no allocation in steady state.
+		buf.Reset()
+		for i, b := range raw {
 			if sse {
-				fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, b)
+				buf.WriteString("id: ")
+				buf.WriteString(strconv.Itoa(events[i].Seq))
+				buf.WriteString("\nevent: ")
+				buf.WriteString(events[i].Type)
+				buf.WriteString("\ndata: ")
+				buf.Write(b)
+				buf.WriteString("\n\n")
 			} else {
-				w.Write(b)
-				w.Write([]byte("\n"))
+				buf.Write(b)
+				buf.WriteByte('\n')
 			}
+		}
+		if _, werr := w.Write(buf.Bytes()); werr != nil {
+			return
 		}
 		flush()
 		from += len(events)
@@ -363,6 +382,11 @@ func (h *handler) events(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 }
+
+// streamBufPool recycles the event-stream framing buffers across
+// connections and wakeups; a progress stream otherwise allocates a fresh
+// buffer per poll round for the lifetime of every watched job.
+var streamBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // containsMediaType reports whether the Accept header value names the
 // media type (ignoring ;q= parameters and whitespace).
@@ -376,28 +400,98 @@ func containsMediaType(accept, mt string) bool {
 	return false
 }
 
+// Shared immutable header values, assigned directly into the response
+// header map on the cache-hit hot path: Header().Set copies its value into
+// a fresh one-element slice on every call, and those copies were the last
+// allocations on the result-serving path. The map keys must be in
+// canonical form ("Etag" is textproto's canonicalization of ETag) or the
+// writer would duplicate them.
+var (
+	jsonCT      = []string{"application/json"}
+	immutableCC = []string{"public, max-age=31536000, immutable"}
+)
+
+// inmMatch reports whether the request's If-None-Match field matches the
+// strong entity tag etag (a quoted hash) under RFC 9110 §8.8.3.2: "*"
+// matches any stored response, the field is a comma-separated list of
+// entity-tags, and comparison is weak — a W/ prefix is ignored, so
+// W/"x" matches "x". Iterating the header slice directly (rather than
+// Header.Get) covers clients that split the list over repeated field
+// lines, and the scan allocates nothing.
+func inmMatch(r *http.Request, etag string) bool {
+	for _, v := range r.Header["If-None-Match"] {
+		if etagMatch(v, etag) {
+			return true
+		}
+	}
+	return false
+}
+
+// etagMatch scans one If-None-Match field value for etag. A malformed
+// member (unquoted token, unterminated quote) stops the scan and reports
+// no match: a client that sent garbage gets the full 200 response, never
+// a wrong 304.
+func etagMatch(header, etag string) bool {
+	i := 0
+	for i < len(header) {
+		switch header[i] {
+		case ' ', '\t', ',':
+			i++
+			continue
+		case '*':
+			return true
+		case 'W':
+			if i+1 < len(header) && header[i+1] == '/' {
+				i += 2 // weak tag: compare its opaque part as if strong
+				continue
+			}
+			return false
+		case '"':
+			j := strings.IndexByte(header[i+1:], '"')
+			if j < 0 {
+				return false
+			}
+			if header[i:i+j+2] == etag {
+				return true
+			}
+			i += j + 2
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
 // result serves cached sweep JSON by content hash. The bytes are
 // immutable — the hash IS the content address — so the response carries
-// a strong ETag and long-lived caching headers.
+// a strong ETag and long-lived caching headers. This is the daemon's
+// hottest read path and it allocates nothing on a cache hit: the ETag
+// header value is preformatted in the cache entry, the other header
+// values are shared package-level slices, and the body bytes are written
+// straight from the cache.
 func (h *handler) result(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	if !jobs.ValidHash(hash) {
 		h.error(w, http.StatusBadRequest, "malformed result hash: want 64 lowercase hex digits")
 		return
 	}
-	data, ok := h.m.Result(hash)
+	data, etag, ok := h.m.ResultTagged(hash)
 	if !ok {
 		h.error(w, http.StatusNotFound, "no result for hash "+hash)
 		return
 	}
-	etag := `"` + hash + `"`
-	if r.Header.Get("If-None-Match") == etag {
+	// ETag and Cache-Control are set before the conditional check so the
+	// 304 carries them too, as RFC 9110 §15.4.5 asks: the client's cache
+	// revalidates without losing the immutability hint.
+	hdr := w.Header()
+	hdr["Etag"] = etag
+	hdr["Cache-Control"] = immutableCC
+	if inmMatch(r, etag[0]) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("ETag", etag)
-	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	hdr["Content-Type"] = jsonCT
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
 }
@@ -496,13 +590,13 @@ func (h *handler) traceBytes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	etag := `"` + hash + `"`
-	if r.Header.Get("If-None-Match") == etag {
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	if inmMatch(r, etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("ETag", etag)
-	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
 	http.ServeFile(w, r, path)
 }
 

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// pipelineDepth is the prefetch window: how many generated-but-unconsumed
+// batches may be in flight. Deep enough to ride out generation jitter
+// (a graph traversal hitting a cold region), shallow enough that the
+// buffers stay cache-warm when the consumer picks them up.
+const pipelineDepth = 4
+
+// batchPipeline overlaps workload batch generation with the simulation of
+// the previous batch: a producer goroutine owns the workload source
+// exclusively and prefetches NextBatch results through a bounded channel
+// pair (full carries generated batches, free returns consumed buffers).
+//
+// It is only started for workloads that declare trace.ClockFree — their
+// stream is independent of AdvanceTime, so generating op k+512 before the
+// simulator has ticked past op k cannot change anything the source emits.
+// That is the same contract the sweep's shared-stream replay relies on
+// (sweep.go generates the whole stream up front), applied per cell. The
+// producer mirrors the inline fetch schedule exactly — same want sizes,
+// same exhausted-source accounting — so the consumed stream is
+// byte-for-byte the one the unpipelined loop would have fetched.
+type batchPipeline struct {
+	full chan []trace.Access
+	free chan []trace.Access
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// startPipeline launches the producer for totalOps operations fetched
+// batchOps at a time. The caller must shutdown() before touching the
+// source again (including the end-of-run AdvanceTime).
+func startPipeline(src trace.BatchSource, totalOps int64, batchOps int) *batchPipeline {
+	p := &batchPipeline{
+		full: make(chan []trace.Access, pipelineDepth),
+		free: make(chan []trace.Access, pipelineDepth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for i := 0; i < pipelineDepth; i++ {
+		// Same initial sizing heuristic as the inline path's scratch buffer.
+		p.free <- make([]trace.Access, 0, batchOps*4)
+	}
+	go p.produce(src, totalOps, batchOps)
+	return p
+}
+
+func (p *batchPipeline) produce(src trace.BatchSource, remaining int64, batchOps int) {
+	defer close(p.done)
+	defer close(p.full)
+	for remaining > 0 {
+		want := batchOps
+		if remaining < int64(want) {
+			want = int(remaining)
+		}
+		var buf []trace.Access
+		select {
+		case buf = <-p.free:
+		case <-p.stop:
+			return
+		}
+		b := src.NextBatch(buf[:0], want)
+		ops := int64(0)
+		for i := range b {
+			if b[i].EndOp {
+				ops++
+			}
+		}
+		if ops == 0 {
+			// An exhausted source (failed trace replay) yields one empty
+			// batch per fetch, and the consumer accounts it as one empty
+			// op — exactly the inline path's schedule, so the want sizes
+			// of every later fetch line up too.
+			remaining--
+		} else {
+			remaining -= ops
+		}
+		select {
+		case p.full <- b:
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// shutdown stops the producer and waits until it has exited, after which
+// the workload source is safe to touch again. Idempotent: the success
+// path calls it before the end-of-run AdvanceTime and a deferred call
+// covers error and cancellation returns.
+func (p *batchPipeline) shutdown() {
+	p.once.Do(func() {
+		close(p.stop)
+		// Unpark a producer blocked on a full prefetch window; the range
+		// ends when the exiting producer closes the channel.
+		for range p.full {
+		}
+		<-p.done
+	})
+}

@@ -1,0 +1,96 @@
+package hybridtier_test
+
+// Golden tests for the pipelined-generation determinism contract:
+// WithPipeline is purely a throughput knob, so sweep JSON must be
+// byte-identical with it on or off — whether the pipeline engages (cells
+// that build their own clock-free workload), yields to the shared
+// in-memory replay stream (single-seed sweeps), or falls back for
+// clocked sources (shifting workloads).
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	hybridtier "repro"
+)
+
+// runPipelineSweep executes a multi-policy grid over the given seeds and
+// returns its marshaled cells.
+func runPipelineSweep(t *testing.T, seeds []uint64, base ...hybridtier.Option) []byte {
+	t.Helper()
+	cells, err := (&hybridtier.Sweep{
+		Policies: []hybridtier.PolicyName{"HybridTier", "Memtis", "TPP"},
+		Ratios:   []int{8},
+		Seeds:    seeds,
+		Base:     base,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Err != "" {
+			t.Fatalf("cell %s/seed %d failed: %s", c.Policy, c.Seed, c.Err)
+		}
+	}
+	b, err := json.Marshal(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func pipelineVsInline(t *testing.T, seeds []uint64, name string, extra ...hybridtier.Option) {
+	t.Helper()
+	common := append([]hybridtier.Option{
+		hybridtier.WithWorkloadName(name),
+		hybridtier.WithWorkloadParams(goldenParams()),
+		hybridtier.WithOps(30_000),
+	}, extra...)
+	inline := runPipelineSweep(t, seeds, common...)
+	piped := runPipelineSweep(t, seeds, append(common, hybridtier.WithPipeline(true))...)
+	if string(inline) != string(piped) {
+		t.Fatalf("%s seeds=%v: pipelined sweep JSON diverges from the inline path", name, seeds)
+	}
+}
+
+func TestPipelinedSweepByteIdentical(t *testing.T) {
+	// Multi-seed sweeps cannot use the shared replay stream, so every cell
+	// builds its own clock-free workload and the pipeline engages.
+	pipelineVsInline(t, []uint64{7, 11}, "zipf")
+	// Multi-access ops (B+tree probes) exercise EndOp boundaries crossing
+	// batch edges under the producer's op accounting.
+	pipelineVsInline(t, []uint64{7, 11}, "silo")
+}
+
+func TestPipelinedSweepByteIdenticalSharedStream(t *testing.T) {
+	// A single-seed sweep rides the shared packed replay stream, where the
+	// pipeline must stand down — and the JSON still must not move.
+	pipelineVsInline(t, []uint64{7}, "zipf")
+}
+
+func TestPipelinedShiftingSweepByteIdentical(t *testing.T) {
+	// Shifting workloads are clocked (their distribution change timestamps
+	// itself from AdvanceTime), so the gate must decline and results,
+	// including shift_ns, must be untouched by the knob.
+	build := func(seed uint64) (hybridtier.Workload, error) {
+		return hybridtier.ShiftingZipf("pl-shift", 1<<13, 1.0, seed, 10_000, 2.0/3.0), nil
+	}
+	common := []hybridtier.Option{
+		hybridtier.WithWorkloadFunc(build),
+		hybridtier.WithOps(30_000),
+		hybridtier.WithWindowNs(1_000_000),
+	}
+	inline := runPipelineSweep(t, []uint64{7, 11}, common...)
+	piped := runPipelineSweep(t, []uint64{7, 11}, append(common, hybridtier.WithPipeline(true))...)
+	if string(inline) != string(piped) {
+		t.Fatal("shifting workload: WithPipeline(true) changed sweep JSON")
+	}
+	var cells []hybridtier.CellResult
+	if err := json.Unmarshal(piped, &cells); err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Result.ShiftNs < 0 {
+		t.Fatal("the shift never fired: the scenario does not exercise clocked behaviour")
+	}
+}

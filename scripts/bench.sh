@@ -7,17 +7,22 @@
 #   ./scripts/bench.sh mylabel            # full run (3 iterations/benchmark)
 #   BENCHTIME=1x ./scripts/bench.sh smoke # one iteration per benchmark
 #   BENCH=SimOpLoop ./scripts/bench.sh loop  # restrict the pattern
+#   PGO=off ./scripts/bench.sh nopgo      # -pgo value: off, auto, or a profile path
 set -eu
 cd "$(dirname "$0")/.."
 
 label="${1:-local}"
 benchtime="${BENCHTIME:-3x}"
 pattern="${BENCH:-.}"
+pgo="${PGO:-}"
 out="BENCH_${label}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" ./... | tee "$raw" >&2
+pgoflag=""
+if [ -n "$pgo" ]; then pgoflag="-pgo=$pgo"; fi
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" $pgoflag ./... | tee "$raw" >&2
 
 awk -v label="$label" '
 BEGIN { n = 0 }
@@ -40,5 +45,15 @@ END {
     for (i = 0; i < n; i++) printf "%s%s\n", recs[i], i < n - 1 ? "," : ""
     printf " ]\n}\n"
 }' "$raw" > "$out"
+
+# An empty benchmarks array means the pattern matched nothing or no
+# benchmark line parsed — either way the file would poison downstream
+# consumers (bench_compare.sh would "pass" against nothing), so fail
+# loudly instead of writing it.
+if ! grep -q '"name":' "$out"; then
+    rm -f "$out"
+    echo "bench.sh: no benchmark results for pattern '$pattern' (nothing matched, or no output parsed); not writing $out" >&2
+    exit 1
+fi
 
 echo "wrote $out" >&2

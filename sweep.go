@@ -269,9 +269,15 @@ func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
 					cr.Err = err.Error()
 				}
 				results[idx] = cr
-				n := int(done.Add(1))
 				if s.OnCell != nil || s.Progress != nil {
+					// The completion count is incremented UNDER progMu: with
+					// the increment outside, two workers could swap between
+					// Add and Lock and deliver Progress(2) before Progress(1),
+					// so observers would see the count go backwards. Inside
+					// the lock, the n-th callback is always the n-th
+					// completion and the sequence is strictly increasing.
 					progMu.Lock()
+					n := int(done.Add(1))
 					if s.OnCell != nil {
 						s.OnCell(cr)
 					}
@@ -279,6 +285,8 @@ func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
 						s.Progress(n, len(cells))
 					}
 					progMu.Unlock()
+				} else {
+					done.Add(1)
 				}
 			}
 		}()

@@ -126,6 +126,55 @@ func TestSweepProgress(t *testing.T) {
 	}
 }
 
+// TestSweepProgressStrictlyIncreasing is the regression test for the
+// done-counter race: the completion count used to be incremented outside
+// progMu, so two workers could acquire the lock out of increment order and
+// deliver Progress(n+1) before Progress(n). A many-cell sweep with cheap
+// cells and more workers than cores maximizes the completion contention
+// that used to reorder the callbacks; run under -race this also proves the
+// callback path is properly synchronized.
+func TestSweepProgressStrictlyIncreasing(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		seeds := make([]uint64, 12)
+		for i := range seeds {
+			seeds[i] = uint64(i + 1)
+		}
+		var calls []int
+		sw := &Sweep{
+			Policies: []PolicyName{PolicyHybridTier, PolicyLRU},
+			Ratios:   []int{8, 4},
+			Seeds:    seeds,
+			Workers:  16,
+			Base: []Option{
+				WithWorkloadName("zipf"),
+				WithWorkloadParams(WorkloadParams{Pages: 512}),
+				WithOps(1_000),
+			},
+		}
+		total := len(sw.Cells())
+		sw.Progress = func(done, tot int) {
+			if tot != total {
+				t.Errorf("total = %d, want %d", tot, total)
+			}
+			calls = append(calls, done)
+		}
+		if _, err := sw.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if len(calls) != total {
+			t.Fatalf("progress called %d times, want %d", len(calls), total)
+		}
+		for i := 1; i < len(calls); i++ {
+			if calls[i] <= calls[i-1] {
+				t.Fatalf("progress went backwards at call %d: %v", i, calls)
+			}
+		}
+		if calls[len(calls)-1] != total {
+			t.Fatalf("final progress = %d, want %d", calls[len(calls)-1], total)
+		}
+	}
+}
+
 func TestSweepRejectsSharedWorkloadInstance(t *testing.T) {
 	sw := &Sweep{
 		Policies: []PolicyName{PolicyHybridTier},
