@@ -7,13 +7,16 @@
 // Usage:
 //
 //	htiersim [-workload cdn] [-policy HybridTier,Memtis] [-ratio 8,16]
-//	         [-seed 1,2,3] [-ops 1000000] [-huge] [-cache] [-batch-ops N]
-//	         [-pipeline] [-scale tiny|quick|full] [-workers N] [-json]
-//	         [-series] [-list] [-record run.htrc] [-replay run.htrc]
+//	         [-seed 1,2,3] [-ops 1000000] [-huge] [-cache] [-tracker idlepage]
+//	         [-batch-ops N] [-pipeline] [-scale tiny|quick|full] [-workers N]
+//	         [-json] [-series] [-list] [-record run.htrc] [-replay run.htrc]
 //	         [-trace-info run.htrc] [-submit http://host:8080]
 //
 // Workloads and policies are resolved through the public registries, so
-// -list can never drift from what actually runs. -workload also accepts
+// -list can never drift from what actually runs. -tracker forces one
+// access tracker (pebs, idlepage, softdirty) on every cell; a
+// "Policy@tracker" spelling in -policy pins it per policy, and with
+// neither, each policy runs under its registered default tracker. -workload also accepts
 // the composition grammar (docs/COMPOSITION.md): "mix:0.7*cdn,0.3*silo"
 // interleaves two tenants on disjoint page ranges, "phases:cdn@500000,silo"
 // switches generators after a fixed op count, and repeat:/offset:/scale:
@@ -74,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ops := fs.Int64("ops", 1_000_000, "operations to simulate")
 	huge := fs.Bool("huge", false, "2MB huge-page granularity")
 	cache := fs.Bool("cache", false, "enable the full CPU-cache model")
+	trackerFlag := fs.String("tracker", "", "access tracker for every cell: pebs, idlepage, or softdirty (default: each policy's own; Policy@tracker pins per policy)")
 	scaleFlag := fs.String("scale", "quick", "workload scale: tiny, quick, or full")
 	workers := fs.Int("workers", 0, "concurrent sweep cells (default: all cores)")
 	batchOps := fs.Int("batch-ops", 0, "ops fetched per workload batch (1 = single-op reference schedule; results are identical)")
@@ -118,7 +122,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "policies:")
 		for _, name := range hybridtier.DefaultPolicies().Names() {
 			e, _ := hybridtier.DefaultPolicies().Lookup(name)
-			fmt.Fprintf(stdout, "  %-20s %s\n", name, e.Doc)
+			doc := e.Doc
+			if e.Tracker != "" {
+				doc += " [tracker: " + e.Tracker + "]"
+			}
+			fmt.Fprintf(stdout, "  %-20s %s\n", name, doc)
+		}
+		fmt.Fprintln(stdout, "trackers (access observation, docs/TRACKERS.md; -tracker forces one, Policy@tracker pins per policy):")
+		for _, t := range hybridtier.TrackerList() {
+			fmt.Fprintf(stdout, "  %-10s %s\n", t[0], t[1])
 		}
 		fmt.Fprintln(stdout, "composition (combine workloads into one -workload spec, docs/COMPOSITION.md):")
 		for _, line := range hybridtier.WorkloadSpecSyntax() {
@@ -137,6 +149,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale = experiments.Full
 	default:
 		return fail(2, "unknown scale %q (want tiny, quick, or full)", *scaleFlag)
+	}
+
+	if err := hybridtier.ValidateTracker(*trackerFlag); err != nil {
+		return fail(2, "%v", err)
 	}
 
 	policies := splitPolicies(*policy)
@@ -163,6 +179,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Ops:      *ops,
 			Huge:     *huge,
 			Cache:    *cache,
+			Tracker:  *trackerFlag,
 		}
 		// A local trace:<path> cannot run on the daemon (the path means
 		// nothing there, and paths are not content-addressable) — but its
@@ -212,6 +229,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hybridtier.WithWorkloadParams(scale.Params(seeds[0])),
 		hybridtier.WithHugePages(*huge),
 		hybridtier.WithCacheModel(*cache),
+		hybridtier.WithTracker(*trackerFlag),
 		hybridtier.WithBatchOps(*batchOps),
 		hybridtier.WithPipeline(*pipeline),
 	}
@@ -295,8 +313,12 @@ func printSingle(w io.Writer, c hybridtier.CellResult, ratio string, huge, cache
 	fmt.Fprintf(w, "throughput    %.2f Mop/s\n", res.ThroughputMops)
 	fmt.Fprintf(w, "migrations    %d promoted, %d demoted (%d failed promos)\n",
 		res.Mem.Promotions, res.Mem.Demotions, res.Mem.FailedPromos)
-	fmt.Fprintf(w, "sampling      %d samples of %d accesses (%d dropped)\n",
-		res.Pebs.Sampled, res.Pebs.Accesses, res.Pebs.Dropped)
+	trk := res.Tracker
+	if trk == "" {
+		trk = "pebs"
+	}
+	fmt.Fprintf(w, "sampling      %d samples of %d accesses (%d dropped) via %s\n",
+		res.Pebs.Sampled, res.Pebs.Accesses, res.Pebs.Dropped, trk)
 	fmt.Fprintf(w, "faults        %d hint faults\n", res.Faults)
 	if numPages > 0 {
 		fmt.Fprintf(w, "metadata      %.1f KB (%.4f%% of touched footprint)\n",

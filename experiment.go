@@ -31,6 +31,7 @@ type Experiment struct {
 	huge     bool
 	cache    bool
 	seed     uint64
+	tracker  string
 	windowNs int64
 	batchOps int
 	pipeline bool
@@ -308,8 +309,15 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 		}
 		ops = info.Ops
 	}
+	// The policy name may carry a "@tracker" qualifier, and the policy's
+	// registry entry may declare a default tracker; resolve both against
+	// any WithTracker choice before constructing either side.
+	bare, trackerKind, err := resolveTracker(string(e.policy), e.tracker, "experiment")
+	if err != nil {
+		return nil, err
+	}
 	polPages, polFast := tierCapacity(w.NumPages(), e.ratio, e.huge)
-	p, alloc, err := NewPolicy(e.policy, polPages, polFast, e.huge)
+	p, alloc, err := NewPolicy(PolicyName(bare), polPages, polFast, e.huge)
 	if err != nil {
 		return nil, err
 	}
@@ -334,6 +342,7 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 	cfg.Ops = ops
 	cfg.Alloc = alloc
 	cfg.Seed = e.seed
+	cfg.Tracker.Kind = trackerKind
 	cfg.AppCacheModel = e.cache
 	if e.huge {
 		cfg.PageBytes = mem.HugePageBytes

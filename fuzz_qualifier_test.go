@@ -1,0 +1,74 @@
+package hybridtier
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPolicyQualifier drives spec canonicalization with arbitrary policy
+// spellings and forced tracker names. The invariants mirror what the
+// service and result cache assume:
+//
+//   - Canonical never panics, whatever the qualifier syntax.
+//   - Canonicalization is a projection: canonicalizing a canonical spec
+//     is the identity, so re-submitting an archived spec cannot re-spell
+//     (or re-hash) it.
+//   - Hash(spec) == Hash(Canonical(spec)): the content address is a
+//     property of the experiment, not its spelling.
+//
+// The workload is fixed; the fuzzer owns the (policy, tracker) pair,
+// which is where the qualifier grammar lives.
+func FuzzPolicyQualifier(f *testing.F) {
+	f.Add("LRU", "")
+	f.Add("LRU@pebs", "")
+	f.Add("LRU@", "")
+	f.Add("Heat-Idle@softdirty", "")
+	f.Add("Heat-Idle", "idlepage")
+	f.Add("Memtis@idlepage", "idlepage")
+	f.Add("LRU@idlepage", "softdirty")
+	f.Add("@pebs", "")
+	f.Add("LRU@a@b", "nope")
+	f.Add("Age-Idle", "pebs")
+	f.Fuzz(func(t *testing.T, policy, forced string) {
+		s := SweepSpec{
+			Workload: "zipf",
+			Policies: []PolicyName{PolicyName(policy)},
+			Tracker:  forced,
+			Ops:      1000,
+		}
+		c, err := s.Canonical()
+		if err != nil {
+			// Rejected spellings must be rejected consistently by the
+			// derived forms (the service hashes before it runs).
+			if _, herr := s.Hash(); herr == nil {
+				t.Fatalf("Canonical rejected %q/%q but Hash accepted it", policy, forced)
+			}
+			return
+		}
+		cb, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := c.Canonical()
+		if err != nil {
+			t.Fatalf("canonical spec %s rejected on re-canonicalization: %v", cb, err)
+		}
+		c2b, _ := json.Marshal(c2)
+		if !bytes.Equal(cb, c2b) {
+			t.Fatalf("canonicalization is not idempotent:\n once %s\ntwice %s", cb, c2b)
+		}
+		h1, err := s.Hash()
+		if err != nil {
+			t.Fatalf("valid spec failed to hash: %v", err)
+		}
+		h2, err := c.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("hash depends on spelling: %s (%q/%q) vs %s (canonical %s)",
+				h1, policy, forced, h2, cb)
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"repro/internal/mem"
+	"repro/internal/tier"
+)
+
+// AgeConfig parameterizes the Age policy, a port of memtierd's age-based
+// placement (cri-resource-manager's policy "age"): pages recently seen by
+// the tracker belong in the fast tier, pages unseen for longer than an
+// idle threshold are demoted. It is the natural partner of the idlepage
+// tracker — one scan sample per touched page per window is exactly the
+// "was it active lately" bit the policy consumes — but runs against any
+// tracker.
+type AgeConfig struct {
+	// NumPages is the total page space (8 B of last-seen metadata each).
+	NumPages int
+	// FastPages is the fast-tier capacity.
+	FastPages int
+	// IdleNs demotes a fast page once the tracker has not reported it for
+	// this long. memtierd's IdleDurationGuess defaults to a few scan
+	// periods; the default here is likewise a small multiple of the
+	// tracker's 20 ms scan — short enough that a standard 1M-op run
+	// (~90 virtual ms) ages out its cold allocations.
+	IdleNs int64
+	// FreeWatermark is the fast-tier free fraction under which sampling-
+	// time promotions trigger an idle sweep to make room.
+	FreeWatermark float64
+	// Label overrides the policy's display name ("Age" when empty), so a
+	// registration bound to a specific tracker can report that binding in
+	// results ("Age-Idle").
+	Label string
+}
+
+// DefaultAgeConfig returns the memtierd-proportioned setup.
+func DefaultAgeConfig(numPages, fastPages int) AgeConfig {
+	return AgeConfig{
+		NumPages:      numPages,
+		FastPages:     fastPages,
+		IdleNs:        50_000_000, // 2.5 idlepage scan periods
+		FreeWatermark: 0.02,
+	}
+}
+
+// Age promotes pages the tracker reports as active and demotes pages it
+// has stopped reporting. Unlike the frequency policies it keeps no
+// counters — one timestamp per page — so a page is either fresh or idle,
+// the same binary signal memtierd extracts from idle-page bitmaps.
+type Age struct {
+	cfg        AgeConfig
+	env        tier.Env
+	lastSeen   []int64 // virtual ns of the page's last tracker report
+	scanCursor mem.PageID
+	lastScanNs int64
+	stats      AgeStats
+}
+
+// AgeStats counts policy activity.
+type AgeStats struct {
+	Samples  uint64
+	Promoted uint64
+	Demoted  uint64
+	Sweeps   uint64
+}
+
+var _ tier.Policy = (*Age)(nil)
+
+// NewAge constructs the policy.
+func NewAge(cfg AgeConfig) *Age {
+	return &Age{cfg: cfg, lastSeen: make([]int64, cfg.NumPages)}
+}
+
+// Name implements tier.Policy.
+func (a *Age) Name() string {
+	if a.cfg.Label != "" {
+		return a.cfg.Label
+	}
+	return "Age"
+}
+
+// Attach implements tier.Policy.
+func (a *Age) Attach(env tier.Env) { a.env = env }
+
+// MetadataBytes implements tier.Policy: one 8 B timestamp per page.
+func (a *Age) MetadataBytes() int64 { return int64(a.cfg.NumPages) * 8 }
+
+// Stats returns a copy of the activity counters.
+func (a *Age) Stats() AgeStats { return a.stats }
+
+// OnSamples implements tier.Policy: refresh the page's age and promote
+// anything the tracker saw on the slow tier, evicting idle pages when the
+// fast tier has no room.
+func (a *Age) OnSamples(batch []tier.Sample) {
+	for _, s := range batch {
+		a.stats.Samples++
+		p := s.Page
+		a.env.TouchMeta(int64(p) * 8)
+		a.lastSeen[p] = s.Time
+		if s.Tier != mem.Slow {
+			continue
+		}
+		if a.env.Promote(p) == nil {
+			a.stats.Promoted++
+			continue
+		}
+		a.sweepIdle(s.Time)
+		if a.env.Promote(p) == nil {
+			a.stats.Promoted++
+		}
+	}
+}
+
+// Tick implements tier.Policy: run the idle sweep when free fast memory
+// dips under the watermark, keeping headroom for the next scan's
+// promotions.
+func (a *Age) Tick() {
+	mm := a.env.Mem()
+	if float64(mm.FastFree()) < a.cfg.FreeWatermark*float64(mm.FastCap()) {
+		a.sweepIdle(a.env.Now())
+	}
+}
+
+// sweepIdle walks the fast tier from the demotion cursor, demoting pages
+// whose last tracker report is older than IdleNs, until a watermark of
+// free pages exists. Like the other kernel-style baselines the sweep is
+// rate-limited and charged to the tiering thread.
+func (a *Age) sweepIdle(now int64) {
+	if now-a.lastScanNs < scanMinIntervalNs {
+		return
+	}
+	a.lastScanNs = now
+	a.stats.Sweeps++
+	mm := a.env.Mem()
+	target := int(a.cfg.FreeWatermark*float64(mm.FastCap())) + 1
+	visited := 0
+	last := a.scanCursor
+	mm.ScanFastFrom(a.scanCursor, func(p mem.PageID) bool {
+		visited++
+		last = p
+		if now-a.lastSeen[p] > a.cfg.IdleNs {
+			if a.env.Demote(p) == nil {
+				a.stats.Demoted++
+			}
+		}
+		// Stop once headroom exists or the sweep has covered the tier.
+		return mm.FastFree() < target && visited < a.cfg.FastPages
+	})
+	a.scanCursor = last + 1
+	a.env.Charge(float64(visited) * 25)
+}
+
+// RecencyFree implements tier.RecencyFree: Age keeps its own timestamps
+// from the sample stream and never consults Env.LastAccess.
+func (a *Age) RecencyFree() {}

@@ -1,0 +1,207 @@
+package baselines
+
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+	"repro/internal/tier"
+)
+
+// HeatConfig parameterizes the Heat policy, a port of memtierd's
+// heat-bucket placement (cri-resource-manager's policy "heat"): every
+// tracker report heats a page one step, heat decays by halving on a
+// rolling schedule, and pages are classed into log2 heat buckets; the
+// hottest buckets that fit live in the fast tier. Against a scanning
+// tracker, heat approximates "active windows out of the recent past" —
+// coarser than Memtis' exact counters, with metadata an eighth the size.
+type HeatConfig struct {
+	// NumPages is the total page space (1 B of heat each).
+	NumPages int
+	// FastPages is the fast-tier capacity, used for threshold tuning.
+	FastPages int
+	// CoolTicks is the number of policy ticks a full cooling cycle is
+	// spread over: each tick halves the heat of 1/CoolTicks of the page
+	// space, so cooling cost is amortized instead of arriving as the
+	// periodic full-sweep spike Memtis pays.
+	CoolTicks int
+	// FreeWatermark is the fast-tier free fraction under which demotion
+	// sweeps run.
+	FreeWatermark float64
+	// Label overrides the policy's display name ("Heat" when empty), so a
+	// registration bound to a specific tracker can report that binding in
+	// results ("Heat-Idle", "Heat-Dirty").
+	Label string
+}
+
+// DefaultHeatConfig returns the memtierd-proportioned setup.
+func DefaultHeatConfig(numPages, fastPages int) HeatConfig {
+	return HeatConfig{
+		NumPages:      numPages,
+		FastPages:     fastPages,
+		CoolTicks:     32, // one full cooling cycle ≈ 16 idlepage scans
+		FreeWatermark: 0.02,
+	}
+}
+
+// Heat keeps one saturating byte of heat per page, bucketed by bit
+// length into a 9-bucket histogram that retunes the hot threshold so the
+// hot set just fits the fast tier.
+type Heat struct {
+	cfg        HeatConfig
+	env        tier.Env
+	heat       []uint8
+	hist       [9]int64 // hist[b] = pages whose heat has bit-length b
+	thresh     uint8
+	coolCursor int
+	scanCursor mem.PageID
+	lastScanNs int64
+	stats      HeatStats
+}
+
+// HeatStats counts policy activity.
+type HeatStats struct {
+	Samples  uint64
+	Promoted uint64
+	Demoted  uint64
+	Cooled   uint64 // pages cooled (not cycles: cooling is incremental)
+}
+
+var _ tier.Policy = (*Heat)(nil)
+
+// NewHeat constructs the policy.
+func NewHeat(cfg HeatConfig) *Heat {
+	h := &Heat{cfg: cfg, heat: make([]uint8, cfg.NumPages), thresh: 2}
+	h.hist[0] = int64(cfg.NumPages)
+	return h
+}
+
+// Name implements tier.Policy.
+func (h *Heat) Name() string {
+	if h.cfg.Label != "" {
+		return h.cfg.Label
+	}
+	return "Heat"
+}
+
+// Attach implements tier.Policy.
+func (h *Heat) Attach(env tier.Env) { h.env = env }
+
+// MetadataBytes implements tier.Policy: one heat byte per page.
+func (h *Heat) MetadataBytes() int64 { return int64(h.cfg.NumPages) }
+
+// Stats returns a copy of the activity counters.
+func (h *Heat) Stats() HeatStats { return h.stats }
+
+// Threshold returns the current hot threshold (test hook).
+func (h *Heat) Threshold() uint8 { return h.thresh }
+
+// OnSamples implements tier.Policy: heat the page and promote it once it
+// crosses the hot threshold.
+func (h *Heat) OnSamples(batch []tier.Sample) {
+	for _, s := range batch {
+		h.stats.Samples++
+		p := s.Page
+		h.env.TouchMeta(int64(p))
+		old := h.heat[p]
+		if old < 255 {
+			h.heat[p] = old + 1
+			ob, nb := bits.Len8(old), bits.Len8(old+1)
+			if ob != nb {
+				h.hist[ob]--
+				h.hist[nb]++
+			}
+		}
+		if s.Tier == mem.Slow && h.heat[p] >= h.thresh {
+			if err := h.env.Promote(p); err != nil {
+				h.demoteCold()
+				if h.env.Promote(p) == nil {
+					h.stats.Promoted++
+				}
+			} else {
+				h.stats.Promoted++
+			}
+		}
+	}
+}
+
+// Tick implements tier.Policy: cool the next chunk of the page space,
+// retune the threshold from the histogram, and demote under the free
+// watermark.
+func (h *Heat) Tick() {
+	h.coolChunk()
+	h.retune()
+	mm := h.env.Mem()
+	if float64(mm.FastFree()) < h.cfg.FreeWatermark*float64(mm.FastCap()) {
+		h.demoteCold()
+	}
+}
+
+// coolChunk halves the heat of the next 1/CoolTicks slice of pages.
+func (h *Heat) coolChunk() {
+	n := h.cfg.NumPages/h.cfg.CoolTicks + 1
+	for i := 0; i < n; i++ {
+		p := h.coolCursor
+		if h.coolCursor++; h.coolCursor >= h.cfg.NumPages {
+			h.coolCursor = 0
+		}
+		old := h.heat[p]
+		if old == 0 {
+			continue
+		}
+		h.heat[p] = old >> 1
+		h.hist[bits.Len8(old)]--
+		h.hist[bits.Len8(old>>1)]++
+		h.stats.Cooled++
+	}
+	h.env.Charge(float64(n) / 64)
+}
+
+// retune picks the smallest power-of-two threshold whose hot set fits
+// the fast tier (the same histogram walk Memtis uses, over byte heat).
+func (h *Heat) retune() {
+	budget := int64(h.cfg.FastPages)
+	var cum int64
+	bucket := len(h.hist) - 1
+	for b := len(h.hist) - 1; b >= 1; b-- {
+		cum += h.hist[b]
+		if cum > budget {
+			break
+		}
+		bucket = b
+	}
+	t := uint8(1) << (bucket - 1)
+	if t < 2 {
+		t = 2
+	}
+	h.thresh = t
+}
+
+// demoteCold walks the fast tier from the demotion cursor, demoting
+// below-threshold pages until the free watermark is met.
+func (h *Heat) demoteCold() {
+	now := h.env.Now()
+	if now-h.lastScanNs < scanMinIntervalNs {
+		return
+	}
+	h.lastScanNs = now
+	mm := h.env.Mem()
+	target := int(h.cfg.FreeWatermark*float64(mm.FastCap())) + 1
+	visited := 0
+	last := h.scanCursor
+	mm.ScanFastFrom(h.scanCursor, func(p mem.PageID) bool {
+		visited++
+		last = p
+		if h.heat[p] < h.thresh {
+			if h.env.Demote(p) == nil {
+				h.stats.Demoted++
+			}
+		}
+		return mm.FastFree() < target && visited < h.cfg.FastPages
+	})
+	h.scanCursor = last + 1
+	h.env.Charge(float64(visited) * 25)
+}
+
+// RecencyFree implements tier.RecencyFree: Heat is purely sample-driven
+// and never consults Env.LastAccess.
+func (h *Heat) RecencyFree() {}

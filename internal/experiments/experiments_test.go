@@ -67,6 +67,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"mt",
 		"tab3", "tab4", "tab5",
+		"trackers",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

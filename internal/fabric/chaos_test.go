@@ -388,6 +388,38 @@ func TestChaosStormStaysByteIdentical(t *testing.T) {
 	}
 }
 
+// TestChaosTrackerSpecStaysByteIdentical extends the storm pin to a
+// tracker-bearing spec: a spec-level forced tracker canonicalizes into
+// per-policy "Name@tracker" qualifiers, and those qualified cells must
+// shard, dedupe, and merge to the local run's exact bytes under the same
+// fault storm as the PEBS-only grid — the cell content addresses cover
+// the canonical qualifiers, so nothing downstream may treat them
+// specially.
+func TestChaosTrackerSpecStaysByteIdentical(t *testing.T) {
+	s := testSpec()
+	s.Policies = []hybridtier.PolicyName{"Heat-Idle", hybridtier.PolicyLRU, "Memtis"}
+	s.Tracker = "idlepage" // folds: Heat-Idle stays bare, LRU and Memtis gain @idlepage
+	s.Seeds = []uint64{1}
+	spec := canonical(t, s)
+	expected := localRun(t, spec)
+	f := newFleet(t, 3, &ChaosPlan{
+		Seed:      5,
+		Drop:      0.15,
+		DropReply: 0.15,
+		Dup:       0.2,
+		DelayProb: 0.25,
+		DelayMax:  2 * time.Millisecond,
+	}, true)
+
+	got := f.runFleet(t, spec)
+	if !bytes.Equal(got, expected) {
+		t.Errorf("tracker-bearing chaos sweep differs from local run:\n got %s\nwant %s", got, expected)
+	}
+	if f.chaos.Faults() == 0 {
+		t.Error("chaos injected no faults — the storm tested nothing")
+	}
+}
+
 func TestResubmitAfterFleetLossIsFullCacheHit(t *testing.T) {
 	spec := canonical(t, testSpec())
 	expected := localRun(t, spec)

@@ -91,14 +91,19 @@ func New(cfg Config) (*Sampler, error) {
 
 // NewWithRing is New with a caller-supplied ring buffer to reuse (the
 // default BufferSize is a 2 MB allocation, worth recycling across sweep
-// cells). The ring's contents need no clearing — entries are only read
-// after being written — so reuse costs nothing. A short ring is ignored.
+// cells). A short ring is ignored. The recycled ring is scrubbed on
+// checkout: its contents are another run's samples, and although the
+// head/tail/size protocol never reads an unwritten slot, clearing makes
+// that a guarantee rather than an invariant — a buffer-handling bug can
+// surface only zero samples, never a previous cell's pages leaking into
+// this cell's policy decisions or drop counts.
 func NewWithRing(cfg Config, ring []Sample) (*Sampler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cap(ring) >= cfg.BufferSize {
 		ring = ring[:cfg.BufferSize]
+		clear(ring)
 	} else {
 		ring = make([]Sample, cfg.BufferSize)
 	}

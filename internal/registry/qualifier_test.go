@@ -1,0 +1,31 @@
+package registry
+
+import "testing"
+
+func TestSplitPolicyQualifier(t *testing.T) {
+	cases := []struct {
+		in        string
+		policy    string
+		tracker   string
+		qualified bool
+	}{
+		{"LRU", "LRU", "", false},
+		{"LRU@pebs", "LRU", "pebs", true},
+		{"Heat-Idle@softdirty", "Heat-Idle", "softdirty", true},
+		// An empty qualifier is still a qualifier: "LRU@" means "LRU under
+		// the default tracker", distinct from plain "LRU" only syntactically.
+		{"LRU@", "LRU", "", true},
+		// The first separator binds; anything after it is the tracker's
+		// problem to validate (the registry does not know tracker names).
+		{"LRU@a@b", "LRU", "a@b", true},
+		{"@pebs", "", "pebs", true},
+		{"", "", "", false},
+	}
+	for _, c := range cases {
+		p, trk, q := SplitPolicyQualifier(c.in)
+		if p != c.policy || trk != c.tracker || q != c.qualified {
+			t.Errorf("SplitPolicyQualifier(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.in, p, trk, q, c.policy, c.tracker, c.qualified)
+		}
+	}
+}

@@ -47,6 +47,27 @@ type PolicyEntry struct {
 	Doc string
 	// New constructs an instance.
 	New PolicyFactory
+	// Tracker names the access tracker (internal/tracker kind) the policy
+	// is designed against; empty means the default PEBS sampler. Callers
+	// may override it per cell with a "Name@tracker" qualifier or a
+	// spec-level tracker choice.
+	Tracker string
+}
+
+// PolicyQualifierSep separates a policy name from a tracker qualifier in
+// the "Name@tracker" spelling ("LRU@idlepage") accepted by sweep specs
+// and CLIs.
+const PolicyQualifierSep = "@"
+
+// SplitPolicyQualifier splits "LRU@idlepage" into ("LRU", "idlepage",
+// true); bare names return (name, "", false). Only the first separator
+// binds. Validating the tracker name is the caller's job — the registry
+// stays a leaf package and does not import internal/tracker.
+func SplitPolicyQualifier(name string) (policy, tracker string, qualified bool) {
+	if i := strings.Index(name, PolicyQualifierSep); i >= 0 {
+		return name[:i], name[i+1:], true
+	}
+	return name, "", false
 }
 
 // PolicyRegistry maps policy names to constructors. The zero value is not

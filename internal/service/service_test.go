@@ -317,6 +317,21 @@ func TestSubmitRejectsBadSpecsWithExactMessages(t *testing.T) {
 			`{"workload":"zipf","policies":["LRU"],"seeds":[0]}`,
 			`hybridtier: spec seeds must be nonzero`,
 		},
+		{
+			"unknown tracker",
+			`{"workload":"zipf","policies":["LRU"],"tracker":"nope"}`,
+			`hybridtier: unknown tracker "nope" (known: idlepage, pebs, softdirty)`,
+		},
+		{
+			"unknown tracker qualifier",
+			`{"workload":"zipf","policies":["LRU@nope"]}`,
+			`hybridtier: unknown tracker "nope" (known: idlepage, pebs, softdirty)`,
+		},
+		{
+			"tracker qualifier vs forced conflict",
+			`{"workload":"zipf","policies":["LRU@idlepage"],"tracker":"pebs"}`,
+			`hybridtier: policy "LRU@idlepage" pins tracker "idlepage" but the spec forces "pebs"`,
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

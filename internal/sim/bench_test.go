@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/trace"
+	"repro/internal/tracker"
 )
 
 // BenchmarkSimOpLoop measures the simulator's steady-state op loop with a
@@ -55,6 +56,37 @@ func BenchmarkSimOpLoopZipfPipelined(b *testing.B) {
 	w := trace.NewZipfSource("bench-zipf", pages, 1.0, 0.1, 7)
 	cfg := DefaultConfig(w, baselines.NewStatic("FirstTouch"), pages/9)
 	cfg.Pipeline = true
+	cfg.Ops = int64(b.N)
+	if cfg.Ops < 1024 {
+		cfg.Ops = 1024
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimOpLoopIdlepage is BenchmarkSimOpLoopZipf observed through
+// the idlepage scan tracker instead of PEBS: every access marks a bitmap
+// bit (period 1, no countdown skip) and a full-footprint scan drains at
+// each 20 ms boundary. The number bounds what switching trackers costs
+// the hot loop; allocs/op ≈ 0 is part of the tracker contract.
+func BenchmarkSimOpLoopIdlepage(b *testing.B) {
+	benchTrackerLoop(b, tracker.KindIdlepage)
+}
+
+// BenchmarkSimOpLoopSoftDirty is the soft-dirty twin: only the 10% write
+// ops mark bits, so the scan emits far fewer samples per drain.
+func BenchmarkSimOpLoopSoftDirty(b *testing.B) {
+	benchTrackerLoop(b, tracker.KindSoftDirty)
+}
+
+func benchTrackerLoop(b *testing.B, kind string) {
+	const pages = 1 << 14
+	w := trace.NewZipfSource("bench-zipf", pages, 1.0, 0.1, 7)
+	cfg := DefaultConfig(w, baselines.NewStatic("FirstTouch"), pages/9)
+	cfg.Tracker.Kind = kind
 	cfg.Ops = int64(b.N)
 	if cfg.Ops < 1024 {
 		cfg.Ops = 1024

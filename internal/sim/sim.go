@@ -1,8 +1,9 @@
 // Package sim is the discrete-event driver that connects a workload's
 // access stream to a tiering policy over the tiered-memory model: the
 // simulated analogue of §5.1's evaluation platform. It advances a virtual
-// nanosecond clock by the latency of every operation, feeds the PEBS
-// sampler, delivers hint faults to fault-driven policies, charges migration
+// nanosecond clock by the latency of every operation, feeds the configured
+// access tracker (PEBS-style sampling by default; see internal/tracker),
+// delivers hint faults to fault-driven policies, charges migration
 // and metadata costs, models bandwidth contention between application
 // traffic and migrations, and produces the latency/throughput metrics and
 // time series the paper's figures report.
@@ -18,6 +19,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tier"
 	"repro/internal/trace"
+	"repro/internal/tracker"
 	"repro/internal/xrand"
 )
 
@@ -38,8 +40,10 @@ type Config struct {
 	// Latency and Migration price accesses and page moves.
 	Latency   mem.LatencyModel
 	Migration mem.MigrationModel
-	// Pebs configures hardware-style sampling.
-	Pebs pebs.Config
+	// Tracker selects and configures the access-observation facility:
+	// PEBS-style hardware sampling (the default), idlepage bitmap scans,
+	// or soft-dirty write tracking (internal/tracker).
+	Tracker tracker.Config
 	// Ops is the number of operations to run.
 	Ops int64
 	// TickNs is the policy tick period in virtual ns (cooling scans,
@@ -121,7 +125,7 @@ func DefaultConfig(w trace.Source, p tier.Policy, fastPages int) Config {
 		Alloc:               mem.AllocFastFirst,
 		Latency:             mem.DefaultLatency(),
 		Migration:           mem.DefaultMigration(),
-		Pebs:                pebs.DefaultConfig(),
+		Tracker:             tracker.DefaultConfig(),
 		Ops:                 2_000_000,
 		TickNs:              10_000_000,  // 10 virtual ms
 		WindowNs:            100_000_000, // 100 virtual ms
@@ -198,6 +202,10 @@ type Result struct {
 	LLC cachesim.Stats `json:"llc"`
 	// FastFinal is the fast-tier occupancy at the end of the run.
 	FastFinal int `json:"fast_final"`
+	// Tracker names the access tracker behind the Pebs counters when it
+	// is not the default PEBS sampler ("idlepage", "softdirty"). Omitted
+	// for PEBS, so pre-tracker archived output stays byte-identical.
+	Tracker string `json:"tracker,omitempty"`
 }
 
 // CanceledError reports a run stopped early by Config.Ctx. It records how
@@ -265,7 +273,6 @@ func (e *env) LastAccess(p mem.PageID) int64 { return e.s.lastAccess[p] }
 type simulator struct {
 	cfg    Config
 	memory *mem.Memory
-	smplr  *pebs.Sampler
 	cache  *cachesim.Hierarchy
 	rng    *xrand.RNG
 
@@ -330,9 +337,10 @@ type Scratch struct {
 	slow    *stats.TimeSeries
 }
 
-// ringBuf returns the pooled PEBS ring (nil is fine: the sampler then
-// allocates). Ring contents are never read before being written, so no
-// clearing is needed on reuse.
+// ringBuf returns the pooled sample ring (nil is fine: the tracker then
+// allocates). The tracker scrubs the recycled contents on checkout — a
+// pooled ring holds another cell's samples, and stale entries must not be
+// able to leak into this cell's stats even through a buffer-handling bug.
 func (sc *Scratch) ringBuf() []pebs.Sample {
 	if sc == nil {
 		return nil
@@ -438,7 +446,10 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	smplr, err := pebs.NewWithRing(cfg.Pebs, cfg.Scratch.ringBuf())
+	// Bitmap trackers size their per-page bits at the simulation's
+	// tracking granularity, so huge pages shrink them 512× — exactly what
+	// a THP-aware idlepage walk sees.
+	trk, err := tracker.New(cfg.Tracker, numPages, cfg.Scratch.ringBuf())
 	if err != nil {
 		return nil, err
 	}
@@ -449,7 +460,6 @@ func Run(cfg Config) (*Result, error) {
 	s := &simulator{
 		cfg:    cfg,
 		memory: memory,
-		smplr:  smplr,
 		cache:  cachesim.NewDefault(),
 		rng:    xrand.New(cfg.Seed),
 		// Metadata lives far from application data in the modeled address
@@ -519,11 +529,20 @@ func Run(cfg Config) (*Result, error) {
 	nextTick := tickNs
 	lastAccess := s.lastAccess
 	winSlow, winFast := s.winBytes[mem.Slow], s.winBytes[mem.Fast]
-	// The PEBS skip countdown lives in a register here rather than in the
-	// sampler, so the between-samples cost is one decrement; the unfired
-	// remainder is folded back at the end so access statistics stay exact.
-	pebsPeriod := cfg.Pebs.Period
-	pebsLeft := pebsPeriod
+	// The tracker's skip countdown lives in a register here rather than in
+	// the tracker, so the between-samples cost is one decrement; the
+	// unfired remainder is folded back at the end so access statistics
+	// stay exact. PEBS runs at its sampling period; the scanning trackers
+	// return period 1 (they must see every access to maintain their
+	// bitmaps — their subsampling happens at scan time).
+	trackPeriod := trk.Period()
+	trackLeft := trackPeriod
+	// mayDrain gates the drain check: Pending() can only have grown when
+	// the countdown fired (PEBS enqueues on Take) or a tick ran (scans
+	// enqueue in Sync), so checking it on other ops would spend an
+	// interface call per op to read an unchanged counter. The flag keeps
+	// the drain schedule identical to an every-op check.
+	mayDrain := false
 
 	progressEvery := cfg.ProgressEvery
 	if progressEvery <= 0 {
@@ -647,9 +666,10 @@ func Run(cfg Config) (*Result, error) {
 						opLat += faultCost
 					}
 				}
-				if pebsLeft--; pebsLeft <= 0 {
-					smplr.Take(page, t, now, a.Write)
-					pebsLeft = pebsPeriod
+				if trackLeft--; trackLeft <= 0 {
+					trk.Observe(page, t, now, a.Write)
+					trackLeft = trackPeriod
+					mayDrain = true
 				}
 				if appCache {
 					// Within-page line offset: hash-derived so hot pages span
@@ -697,16 +717,31 @@ func Run(cfg Config) (*Result, error) {
 			op++
 			cancelLeft--
 
-			if smplr.Pending() >= batchDrain {
-				// Sample handling can migrate pages, charging window bytes.
-				s.winBytes[mem.Slow], s.winBytes[mem.Fast] = winSlow, winFast
-				batch = smplr.Drain(batch[:0], 0)
-				cfg.Policy.OnSamples(batch)
-				winSlow, winFast = s.winBytes[mem.Slow], s.winBytes[mem.Fast]
+			if mayDrain {
+				mayDrain = false
+				if trk.Pending() >= batchDrain {
+					// Sample handling can migrate pages, charging window
+					// bytes.
+					s.winBytes[mem.Slow], s.winBytes[mem.Fast] = winSlow, winFast
+					batch = trk.Drain(batch[:0], 0)
+					cfg.Policy.OnSamples(batch)
+					winSlow, winFast = s.winBytes[mem.Slow], s.winBytes[mem.Fast]
+				}
 			}
 			if s.now >= nextTick {
 				s.winBytes[mem.Slow], s.winBytes[mem.Fast] = winSlow, winFast
 				for s.now >= nextTick {
+					// Periodic tracker work (bitmap scan-and-clear) runs on
+					// the tiering thread at tick boundaries, like memtierd
+					// scheduling its scans; its cost surfaces through the
+					// same busy-time and interference accounting as policy
+					// work. The samples it enqueues are delivered at the
+					// next drain check.
+					if cost := trk.Sync(s.now); cost != 0 {
+						s.tieringBusy += cost
+						s.interference += cost * cfg.TieringInterference
+						mayDrain = true
+					}
 					cfg.Policy.Tick()
 					// The producer goroutine owns a pipelined source, so
 					// tick-time clock notifications are skipped — which a
@@ -747,8 +782,8 @@ func Run(cfg Config) (*Result, error) {
 	if fastC != 0 {
 		slowSeries.ObserveN(slowStamp, 0, fastC)
 	}
-	smplr.ObserveSkipped(pebsPeriod - pebsLeft)
-	sc.release(buf, batch, smplr.Ring(), s.lastAccess)
+	trk.ObserveSkipped(trackPeriod - trackLeft)
+	sc.release(buf, batch, trk.Ring(), s.lastAccess)
 
 	// A final clock notification marks the end-of-run virtual time for
 	// stream observers — a trace capture's last time mark records the
@@ -779,10 +814,13 @@ func Run(cfg Config) (*Result, error) {
 		MetadataBytes:  cfg.Policy.MetadataBytes(),
 		Faults:         s.faults,
 		Mem:            memory.Stats(),
-		Pebs:           smplr.Stats(),
+		Pebs:           trk.Stats(),
 		L1:             s.cache.L1(),
 		LLC:            s.cache.LLC(),
 		FastFinal:      memory.FastUsed(),
+	}
+	if k := trk.Kind(); k != tracker.KindPEBS {
+		res.Tracker = k
 	}
 	if ss, ok := cfg.Workload.(trace.ShiftSource); ok {
 		res.ShiftNs = ss.ShiftTime()

@@ -1,0 +1,34 @@
+package tracker
+
+import (
+	"repro/internal/mem"
+	"repro/internal/pebs"
+)
+
+// pebsTracker adapts the PEBS sampler to the Tracker interface. It is a
+// thin veneer: the sampler already speaks the hoisted-countdown protocol
+// (Take on fire, ObserveSkipped for the remainder), so every method
+// forwards, and Sync is free — hardware sampling has no periodic scan.
+type pebsTracker struct {
+	s      *pebs.Sampler
+	period int
+}
+
+func (t *pebsTracker) Kind() string { return KindPEBS }
+func (t *pebsTracker) Period() int  { return t.period }
+
+func (t *pebsTracker) Observe(page mem.PageID, tier mem.Tier, now int64, write bool) {
+	t.s.Take(page, tier, now, write)
+}
+
+func (t *pebsTracker) ObserveSkipped(n int) { t.s.ObserveSkipped(n) }
+func (t *pebsTracker) Sync(now int64) float64 {
+	_ = now
+	return 0
+}
+func (t *pebsTracker) Pending() int { return t.s.Pending() }
+func (t *pebsTracker) Drain(dst []pebs.Sample, max int) []pebs.Sample {
+	return t.s.Drain(dst, max)
+}
+func (t *pebsTracker) Ring() []pebs.Sample { return t.s.Ring() }
+func (t *pebsTracker) Stats() pebs.Stats   { return t.s.Stats() }

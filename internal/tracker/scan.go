@@ -1,0 +1,228 @@
+package tracker
+
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+	"repro/internal/pebs"
+)
+
+// sampleRing is the bounded sample buffer the scanning trackers share.
+// It reproduces the PEBS ring's semantics exactly — bounded capacity,
+// drop-and-count under overload, two-bulk-copy drain — so policies see
+// one contract regardless of tracker.
+type sampleRing struct {
+	buf     []pebs.Sample
+	head    int // next write
+	tail    int // next read
+	size    int
+	sampled uint64
+	dropped uint64
+	drained uint64
+}
+
+// checkoutRing returns a ring of exactly size entries, reusing recycled
+// storage when it is large enough. Recycled memory is scrubbed: a pooled
+// ring carries another sweep cell's samples, and clearing on checkout
+// guarantees a buffer-handling bug can only surface zero samples, never
+// another cell's pages.
+func checkoutRing(recycled []pebs.Sample, size int) []pebs.Sample {
+	if cap(recycled) >= size {
+		r := recycled[:size]
+		clear(r)
+		return r
+	}
+	return make([]pebs.Sample, size)
+}
+
+func (r *sampleRing) take(s pebs.Sample) {
+	r.sampled++
+	if r.size == len(r.buf) {
+		r.dropped++
+		return
+	}
+	r.buf[r.head] = s
+	if r.head++; r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.size++
+}
+
+func (r *sampleRing) drain(dst []pebs.Sample, max int) []pebs.Sample {
+	n := r.size
+	if max > 0 && max < n {
+		n = max
+	}
+	first := n
+	if avail := len(r.buf) - r.tail; first > avail {
+		first = avail
+	}
+	dst = append(dst, r.buf[r.tail:r.tail+first]...)
+	if rest := n - first; rest > 0 {
+		dst = append(dst, r.buf[:rest]...)
+		r.tail = rest
+	} else if r.tail += first; r.tail == len(r.buf) {
+		r.tail = 0
+	}
+	r.size -= n
+	r.drained += uint64(n)
+	return dst
+}
+
+// scanTracker is the shared machinery of the bitmap trackers: per-page
+// marked bits set on Observe, a last-seen-tier bitmap, and a periodic
+// scan-and-clear that turns set bits into samples. The two concrete
+// trackers differ only in which accesses set bits and how the emitted
+// sample is flagged.
+type scanTracker struct {
+	ring     sampleRing
+	marked   []uint64 // bit set when the page was accessed since the last scan
+	slowBits []uint64 // last-seen tier per page (set = slow); not cleared by scans
+	numPages int
+	scanNs   int64
+	costNs   float64 // full-footprint scan cost
+	nextScan int64
+	accesses uint64
+	// emitWrite is the Write flag stamped on scan samples: false for
+	// idlepage (accessed bits carry no read/write information), true for
+	// soft-dirty (only writes set bits).
+	emitWrite bool
+}
+
+func newScanTracker(cfg Config, numPages int, recycled []pebs.Sample, emitWrite bool) scanTracker {
+	words := (numPages + 63) >> 6
+	return scanTracker{
+		ring:      sampleRing{buf: checkoutRing(recycled, cfg.BufferSize)},
+		marked:    make([]uint64, words),
+		slowBits:  make([]uint64, words),
+		numPages:  numPages,
+		scanNs:    cfg.ScanNs,
+		costNs:    float64(numPages) * cfg.ScanCostPerPageNs,
+		nextScan:  cfg.ScanNs,
+		emitWrite: emitWrite,
+	}
+}
+
+// Period is 1: scanning trackers must see every access to maintain their
+// bitmaps — the subsampling happens at scan time, not access time.
+func (t *scanTracker) Period() int { return 1 }
+
+// mark records an access to the page and its serving tier.
+func (t *scanTracker) mark(page mem.PageID, tier mem.Tier) {
+	w, b := page>>6, uint64(1)<<(page&63)
+	t.marked[w] |= b
+	if tier == mem.Slow {
+		t.slowBits[w] |= b
+	} else {
+		t.slowBits[w] &^= b
+	}
+}
+
+func (t *scanTracker) ObserveSkipped(n int) {
+	if n > 0 {
+		t.accesses += uint64(n)
+	}
+}
+
+// Sync scans and clears the marked bitmap once the scan period has
+// elapsed, emitting one sample per marked page in ascending page order
+// (the order a sequential bitmap walk produces). If virtual time has
+// leapt past several deadlines, one scan suffices — the bits are
+// cumulative, and an immediate re-scan would only find zeros — so a
+// single scan cost is charged and the schedule realigns past now.
+func (t *scanTracker) Sync(now int64) float64 {
+	if now < t.nextScan {
+		return 0
+	}
+	for t.nextScan <= now {
+		t.nextScan += t.scanNs
+	}
+	for w, bm := range t.marked {
+		if bm == 0 {
+			continue
+		}
+		t.marked[w] = 0
+		slow := t.slowBits[w]
+		base := mem.PageID(w) << 6
+		for bm != 0 {
+			tz := bits.TrailingZeros64(bm)
+			bm &^= 1 << tz
+			tier := mem.Fast
+			if slow&(1<<tz) != 0 {
+				tier = mem.Slow
+			}
+			t.ring.take(pebs.Sample{
+				Page:  base + mem.PageID(tz),
+				Tier:  tier,
+				Time:  now,
+				Write: t.emitWrite,
+			})
+		}
+	}
+	return t.costNs
+}
+
+func (t *scanTracker) Pending() int { return t.ring.size }
+func (t *scanTracker) Drain(dst []pebs.Sample, max int) []pebs.Sample {
+	return t.ring.drain(dst, max)
+}
+func (t *scanTracker) Ring() []pebs.Sample { return t.ring.buf }
+
+func (t *scanTracker) Stats() pebs.Stats {
+	return pebs.Stats{
+		Accesses: t.accesses,
+		Sampled:  t.ring.sampled,
+		Dropped:  t.ring.dropped,
+		Drained:  t.ring.drained,
+	}
+}
+
+// idlepage reproduces memtierd's idle-page tracker: every access sets
+// the page's accessed bit; a periodic scan reads and clears all bits,
+// emitting one sample per touched page. Compared to PEBS it has no
+// frequency signal (a page touched once and a page touched a million
+// times look identical within a scan window) and no read/write split,
+// but it observes the full footprint with per-scan rather than
+// per-access cost. The emitted tier is the page's tier at its *last
+// access* before the scan — if the policy migrated the page in between,
+// the sample is stale, exactly as a real bitmap walk's would be.
+type idlepage struct {
+	scanTracker
+}
+
+func newIdlepage(cfg Config, numPages int, ring []pebs.Sample) *idlepage {
+	return &idlepage{newScanTracker(cfg, numPages, ring, false)}
+}
+
+func (t *idlepage) Kind() string { return KindIdlepage }
+
+func (t *idlepage) Observe(page mem.PageID, tier mem.Tier, now int64, write bool) {
+	_ = now
+	_ = write
+	t.accesses++
+	t.mark(page, tier)
+}
+
+// softDirty reproduces memtierd's soft-dirty tracker: only writes set
+// the page's dirty bit (reads are invisible), and the periodic scan
+// emits write samples. It is the cheapest tracker on read-heavy
+// workloads and the blindest — a read-hot page never produces a sample —
+// which is precisely the trade-off worth simulating.
+type softDirty struct {
+	scanTracker
+}
+
+func newSoftDirty(cfg Config, numPages int, ring []pebs.Sample) *softDirty {
+	return &softDirty{newScanTracker(cfg, numPages, ring, true)}
+}
+
+func (t *softDirty) Kind() string { return KindSoftDirty }
+
+func (t *softDirty) Observe(page mem.PageID, tier mem.Tier, now int64, write bool) {
+	_ = now
+	t.accesses++
+	if !write {
+		return
+	}
+	t.mark(page, tier)
+}

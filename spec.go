@@ -52,6 +52,13 @@ type SweepSpec struct {
 	Cache bool `json:"cache,omitempty"`
 	// WindowNs overrides the latency time-series window (0 = default).
 	WindowNs int64 `json:"window_ns,omitempty"`
+	// Tracker forces one access tracker (Trackers()) on every cell.
+	// Canonicalization folds it into per-policy "Name@tracker" qualifiers
+	// and zeroes this field, so a forced tracker and the equivalent
+	// qualified spellings are the same spec — and pre-tracker specs,
+	// whose policies all resolve to their registered defaults, serialize
+	// (and hash) exactly as they did before this field existed.
+	Tracker string `json:"tracker,omitempty"`
 }
 
 // specDefaults mirror NewExperiment's and Sweep.Run's defaulting, applied
@@ -99,18 +106,36 @@ func (s SweepSpec) Canonical() (SweepSpec, error) {
 	if len(s.Policies) == 0 {
 		return SweepSpec{}, fmt.Errorf("hybridtier: spec needs at least one policy")
 	}
-	c.Policies = append([]PolicyName(nil), s.Policies...)
+	// Policy names resolve to (bare policy, tracker kind) pairs: a
+	// "Name@tracker" qualifier wins, then the spec-level Tracker, then the
+	// policy's registered default. The canonical spelling re-attaches the
+	// qualifier only when the resolved kind differs from the default — so
+	// "LRU@pebs", "LRU" under no forced tracker, and "LRU" under
+	// Tracker:"pebs" are all the same cell — and the spec-level field is
+	// zeroed once folded in.
+	c.Policies = make([]PolicyName, len(s.Policies))
 	seenP := make(map[PolicyName]bool, len(c.Policies))
-	for _, p := range c.Policies {
-		if _, ok := registry.Policies.Lookup(string(p)); !ok {
-			return SweepSpec{}, fmt.Errorf("hybridtier: unknown policy %q (known: %s)",
-				p, joinPolicies(Policies()))
+	for i, p := range s.Policies {
+		bare, kind, err := resolveTracker(string(p), s.Tracker, "spec")
+		if err != nil {
+			return SweepSpec{}, err
 		}
-		if seenP[p] {
-			return SweepSpec{}, fmt.Errorf("hybridtier: policy %q listed twice; duplicate cells would shadow each other in the result", p)
+		entry, _ := registry.Policies.Lookup(bare)
+		def, err := normTrackerKind(entry.Tracker)
+		if err != nil {
+			return SweepSpec{}, err
 		}
-		seenP[p] = true
+		canon := PolicyName(bare)
+		if kind != def {
+			canon = PolicyName(bare + registry.PolicyQualifierSep + kind)
+		}
+		if seenP[canon] {
+			return SweepSpec{}, fmt.Errorf("hybridtier: policy %q listed twice; duplicate cells would shadow each other in the result", canon)
+		}
+		seenP[canon] = true
+		c.Policies[i] = canon
 	}
+	c.Tracker = ""
 	c.Ratios = append([]int(nil), s.Ratios...)
 	if len(c.Ratios) == 0 {
 		c.Ratios = []int{defaultSpecRatio}
